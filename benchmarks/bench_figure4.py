@@ -1,0 +1,57 @@
+"""Figure 4 bench — adaptive behaviour of LIMD over time (Δ = 10 min).
+
+Paper shape:
+  * the update rate falls to ~zero for a few hours every night
+    (Figure 4(a));
+  * the TTR grows toward TTR_max = 60 min across each quiet night and
+    collapses back toward TTR_min = Δ = 10 min when updates resume
+    (Figure 4(b)).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import MINUTE
+from repro.experiments import figure4
+
+
+def test_figure4_limd_adaptivity(run_once):
+    result = run_once(figure4.run)
+    print()
+    print(figure4.render(result))
+
+    # (1) The trace has quiet bins (night) and busy bins (day).
+    counts = result.update_frequency.values
+    assert min(counts) == 0.0
+    assert max(counts) >= 4.0
+
+    # (2) The TTR reaches (near) TTR_max during the run...
+    assert result.max_ttr_minutes >= 55.0
+
+    # (3) ...and returns to (near) TTR_min afterwards.
+    assert result.min_ttr_minutes <= 12.0
+
+    # (4) The TTR is large in the quietest stretch: find the longest run
+    # of empty 2 h bins and check the TTR samples inside it.
+    values = list(result.update_frequency.values)
+    best_start, best_len, current_start, current_len = 0, 0, 0, 0
+    for index, count in enumerate(values):
+        if count == 0:
+            if current_len == 0:
+                current_start = index
+            current_len += 1
+            if current_len > best_len:
+                best_start, best_len = current_start, current_len
+        else:
+            current_len = 0
+    assert best_len >= 2, "expected a multi-bin quiet night"
+    quiet_start = best_start * result.update_frequency.bin_width
+    quiet_end = (best_start + best_len) * result.update_frequency.bin_width
+    # Sample the TTR series late in the quiet window (it needs time to grow).
+    late_quiet = [
+        value
+        for center, value in zip(result.ttr.bin_centers(), result.ttr.values)
+        if quiet_start + (quiet_end - quiet_start) * 0.7 <= center < quiet_end
+        and value == value  # drop NaN
+    ]
+    assert late_quiet, "no TTR samples in the quiet window"
+    assert max(late_quiet) >= 45 * MINUTE

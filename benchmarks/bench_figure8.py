@@ -1,0 +1,43 @@
+"""Figure 8 bench — f at proxy vs server over time (δ = $0.6).
+
+Paper shape (AT&T + Yahoo, window [2500 s, 5000 s]):
+  * both proxy series follow the server-side difference;
+  * the partitioned approach tracks the server more tightly than
+    adaptive-f (visibly smaller gaps in Figure 8(b) vs 8(a)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import figure8
+
+
+def test_figure8_tracking(run_once):
+    result = run_once(figure8.run)
+    print()
+    print(figure8.render(result))
+
+    adaptive_error = result.tracking_error("adaptive")
+    partitioned_error = result.tracking_error("partitioned")
+
+    # (1) Both proxies genuinely track the server series: errors are
+    # small relative to the server signal's range.
+    server_values = [v for v in result.server.values if not math.isnan(v)]
+    spread = max(server_values) - min(server_values)
+    assert spread > 0
+    assert adaptive_error < spread * 0.5
+    assert partitioned_error < spread * 0.5
+
+    # (2) Partitioned tracks more tightly than adaptive-f.
+    assert partitioned_error < adaptive_error
+
+    # (3) Both proxy series stay within the server's value envelope
+    # (loose sanity check: mean levels agree).
+    def mean(values):
+        finite = [v for v in values if not math.isnan(v)]
+        return sum(finite) / len(finite)
+
+    server_mean = mean(result.server.values)
+    assert abs(mean(result.adaptive_proxy.values) - server_mean) < spread
+    assert abs(mean(result.partitioned_proxy.values) - server_mean) < spread

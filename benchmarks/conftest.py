@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure from the paper,
+prints the rows/series the paper reports (run pytest with ``-s`` to see
+them), and asserts the qualitative *shape* of the result — who wins, by
+roughly what factor, where the crossovers fall.  Absolute numbers differ
+from the paper (our substrate is a calibrated synthetic workload, not
+the authors' 2000-era traces); shapes are what reproduction means here.
+
+Benchmarks execute each experiment exactly once (``rounds=1``): the
+interesting measurement is the experiment output, and the wall-clock
+time recorded by pytest-benchmark documents the cost of regenerating it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Breaking-news site: mutual consistency for a story and its media.
+
+The paper's motivating example #1: a breaking-news story consists of an
+HTML page plus embedded images and clips, all updated as the story
+develops.  A proxy must keep the cached pieces *mutually* consistent —
+users should never see a caption from revision 7 next to a photo from
+revision 3.
+
+This example:
+
+1. parses the story HTML to discover embedded objects (the Section 5.2
+   syntactic relationship extraction),
+2. builds a dependency graph and a mutual-consistency group from it,
+3. runs LIMD + triggered polls over correlated update traces, and
+4. reports polls, individual fidelity, and mutual fidelity vs a
+   baseline without mutual support.
+
+Run:
+    python examples/news_site.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.consistency.limd import LimdParameters, limd_policy_factory
+from repro.consistency.mutual_temporal import (
+    MutualTemporalCoordinator,
+    MutualTemporalMode,
+)
+from repro.core.types import MINUTE, ObjectId
+from repro.groups.dependency import DependencyGraph
+from repro.groups.html_links import relate_document
+from repro.groups.registry import GroupRegistry, groups_from_components
+from repro.httpsim.network import Network
+from repro.metrics.collector import collect_mutual_synchrony, collect_temporal
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import feed_traces
+from repro.sim.kernel import Kernel
+from repro.traces.synthetic import FollowerSpec, correlated_group_traces
+
+STORY_URL = "http://news.example.com/breaking/quake.html"
+STORY_HTML = """
+<html>
+  <head><link rel="stylesheet" href="/styles/breaking.css"></head>
+  <body>
+    <h1>Earthquake strikes — live updates</h1>
+    <img src="/media/quake-photo.jpg" alt="damage">
+    <video src="/media/quake-clip.mp4"></video>
+    <a href="/world/index.html">More world news</a>
+  </body>
+</html>
+"""
+
+DELTA = 5 * MINUTE         # individual staleness bound
+MUTUAL_DELTA = 2 * MINUTE  # members must originate within 2 min
+HORIZON = 6 * 3600.0       # simulate six hours of the story
+
+
+def correlated_story_traces(object_ids, *, seed=7):
+    """Updates for a developing story: bursts hitting page + media.
+
+    Every burst always updates the HTML; each media object joins the
+    burst with some probability (captions change more often than the
+    video is re-cut), with a small per-object lag.
+    """
+    rng = random.Random(seed)
+    page, *media = object_ids
+    followers = [
+        FollowerSpec(
+            str(oid),
+            join_probability=(0.8, 0.5, 0.3)[index % 3],
+            max_lag=60.0,
+        )
+        for index, oid in enumerate(media)
+    ]
+    traces = correlated_group_traces(
+        str(page),
+        followers,
+        rng,
+        burst_rate=1 / (25 * MINUTE),
+        end=HORIZON,
+    )
+    # Keep the page first; drop members that never updated.
+    ordered = [traces[page]] + [
+        traces[oid] for oid in media if traces[oid].update_count > 0
+    ]
+    return ordered
+
+
+def run_once(mode: MutualTemporalMode):
+    kernel = Kernel()
+    server = OriginServer()
+    proxy = ProxyCache(kernel, Network(kernel))
+
+    # 1. Discover the story's embedded objects syntactically.
+    graph = DependencyGraph()
+    embedded = relate_document(graph, STORY_URL, STORY_HTML)
+    members = [ObjectId(STORY_URL), *embedded]
+
+    # 2. One mutual-consistency group per connected component.
+    registry = GroupRegistry()
+    for spec in groups_from_components(graph, mutual_delta=MUTUAL_DELTA):
+        registry.add_group(spec)
+
+    coordinator = MutualTemporalCoordinator(proxy, registry, mode=mode)
+
+    # 3. Drive the origin with correlated story updates and register
+    #    every member under LIMD.
+    traces = correlated_story_traces(members)
+    feed_traces(kernel, server, traces)
+    factory = limd_policy_factory(
+        DELTA, ttr_max=60 * MINUTE, parameters=LimdParameters()
+    )
+    for trace in traces:
+        proxy.register_object(trace.object_id, server, factory(trace.object_id))
+
+    kernel.run(until=HORIZON)
+    return proxy, coordinator, traces
+
+
+def main() -> None:
+    print(f"Story page: {STORY_URL}")
+    print(
+        f"Guarantees: delta = {DELTA / 60:.0f} min, "
+        f"mutual delta = {MUTUAL_DELTA / 60:.0f} min\n"
+    )
+
+    results = {}
+    for mode in (MutualTemporalMode.NONE, MutualTemporalMode.TRIGGERED):
+        proxy, coordinator, traces = run_once(mode)
+        total_polls = proxy.counters.get("polls")
+        page_trace = traces[0]
+        individual = collect_temporal(proxy, page_trace, DELTA).report
+        # Mutual fidelity of the page against each media object.
+        mutual_fidelities = []
+        for media_trace in traces[1:]:
+            pair = collect_mutual_synchrony(
+                proxy,
+                page_trace.object_id,
+                media_trace.object_id,
+                MUTUAL_DELTA,
+            )
+            mutual_fidelities.append(pair.report.fidelity_by_violations)
+        worst_mutual = min(mutual_fidelities) if mutual_fidelities else 1.0
+        results[mode] = (total_polls, individual, worst_mutual, coordinator)
+
+    print(
+        f"{'mode':<12} {'polls':>6} {'page fidelity':>14} "
+        f"{'worst mutual':>13} {'extra polls':>12}"
+    )
+    for mode, (polls, individual, worst, coordinator) in results.items():
+        print(
+            f"{mode.value:<12} {polls:>6} "
+            f"{individual.fidelity_by_violations:>14.3f} "
+            f"{worst:>13.3f} {coordinator.extra_polls:>12}"
+        )
+
+    none_polls = results[MutualTemporalMode.NONE][0]
+    trig_polls = results[MutualTemporalMode.TRIGGERED][0]
+    print(
+        f"\nTriggered polls changed the total poll count by "
+        f"{(trig_polls - none_polls) / none_polls:+.1%} (triggered polls "
+        "keep partners fresh, so their own scheduled polls find 304s and "
+        "back off) and raised the worst-pair mutual fidelity from "
+        f"{results[MutualTemporalMode.NONE][2]:.3f} to "
+        f"{results[MutualTemporalMode.TRIGGERED][2]:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

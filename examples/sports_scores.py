@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Sports scores: n-object mutual consistency for a live scoreboard.
+
+The paper's second motivating example (Section 1): "a proxy should
+ensure that scores of individual players and the overall score are
+mutually consistent".  At the server the team total always equals the
+sum of the player scores — every scoring event updates one player and
+the total *atomically*.  A proxy caching six objects (five players plus
+the total) with per-object consistency only will routinely show an
+*impossible* scoreboard: the cached copies originate at different
+server instants, so the cached total disagrees with the sum of the
+cached player scores.
+
+This example registers all six objects under LIMD (Δt = 60 s individual
+staleness bound) and compares the paper's three Section 3.2 modes:
+
+* **none** — baseline LIMD, no mutual support;
+* **heuristic** — trigger partner polls only for partners changing at a
+  similar-or-faster rate;
+* **triggered** — on every detected update, poll every group partner
+  (unless its previous/next poll falls within δ).
+
+The scoreboard-skew metric is |cached total − Σ cached players|: zero
+for a mutually consistent view, and bounded by the points scored in any
+δ window when copies originate within δ of each other.
+
+Run:
+    python examples/sports_scores.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.consistency.limd import LimdPolicy
+from repro.consistency.mutual_temporal import (
+    MutualTemporalCoordinator,
+    MutualTemporalMode,
+)
+from repro.consistency.mutual_value import group_f_history, total_minus_parts
+from repro.core.types import TTRBounds
+from repro.groups.registry import GroupRegistry
+from repro.httpsim.network import Network
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import feed_traces
+from repro.sim.kernel import Kernel
+from repro.traces.sports import SportsMatchSpec, generate_match
+
+DELTA_T = 60.0  # individual bound: each cached copy at most 60 s stale
+MUTUAL_DELTA = 10.0  # copies must originate within 10 s of each other
+SKEW_TOLERANCE = 4.0  # points of scoreboard skew the user will notice
+SEED = 20010401
+
+
+def scoreboard_skew(
+    knots: List[Tuple[float, float]], horizon: float
+) -> Tuple[float, float]:
+    """(max |skew|, fraction of time |skew| < tolerance) from f knots."""
+    if not knots:
+        return 0.0, 0.0
+    worst = max(abs(f) for _, f in knots)
+    consistent = 0.0
+    for (time, f), (next_time, _next) in zip(
+        knots, knots[1:] + [(horizon, 0.0)]
+    ):
+        if abs(f) < SKEW_TOLERANCE:
+            consistent += max(0.0, next_time - time)
+    span = horizon - knots[0][0]
+    return worst, (consistent / span if span > 0 else 1.0)
+
+
+def run_mode(traces, members, mode: MutualTemporalMode):
+    """Assemble the full stack and run the match under one mutual mode."""
+    kernel = Kernel()
+    server = OriginServer()
+    feed_traces(kernel, server, traces)
+    proxy = ProxyCache(kernel, Network(kernel))
+    groups = GroupRegistry()
+    groups.create_group("scoreboard", members, MUTUAL_DELTA)
+    coordinator = MutualTemporalCoordinator(proxy, groups, mode=mode)
+    for trace in traces:
+        proxy.register_object(
+            trace.object_id,
+            server,
+            LimdPolicy(
+                DELTA_T, bounds=TTRBounds(ttr_min=DELTA_T, ttr_max=600.0)
+            ),
+        )
+    kernel.run(until=traces[0].end_time)
+    return proxy, coordinator
+
+
+def main() -> None:
+    spec = SportsMatchSpec(scoring_events=240)
+    match = generate_match(spec, random.Random(SEED))
+    traces = [match.players[m] for m in match.players] + [match.total]
+    members = tuple(t.object_id for t in traces)
+
+    print(f"Match: {len(match.events)} scoring events over "
+          f"{spec.duration / 60:.0f} minutes")
+    for object_id, score in match.final_scores().items():
+        print(f"  {object_id}: {score} points")
+    print(f"  {match.total.object_id}: "
+          f"{match.total.records[-1].value:.0f} points (= sum, by construction)")
+    print(f"\nIndividual guarantee: every copy at most {DELTA_T:.0f} s stale "
+          f"(LIMD)\nMutual guarantee sought: copies originate within "
+          f"{MUTUAL_DELTA:.0f} s (Eq. 4, n objects)\n")
+
+    print(f"{'mode':<10} {'polls':>6} {'extra polls':>12} "
+          f"{'max skew':>9} {'within-4pt time':>16}")
+    for mode in (
+        MutualTemporalMode.NONE,
+        MutualTemporalMode.HEURISTIC,
+        MutualTemporalMode.TRIGGERED,
+    ):
+        proxy, coordinator = run_mode(traces, members, mode)
+        knots = group_f_history(proxy, members, total_minus_parts)
+        worst, fraction = scoreboard_skew(knots, spec.duration)
+        print(f"{mode.value:<10} {proxy.counters.get('polls'):>6} "
+              f"{coordinator.extra_polls:>12} {worst:>9.1f} "
+              f"{fraction:>15.1%}")
+
+    print(
+        "\nTriggered polls re-synchronise all six copies whenever any"
+        "\nmember is seen to change, collapsing the windows in which the"
+        "\ncached total disagrees with the cached players — the residual"
+        "\nskew is bounded by the source object's own detection latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+"""Command-line interface for running the reproduction experiments.
+
+Usage (installed or from a checkout)::
+
+    python -m repro list                      # show available experiments
+    python -m repro table2                    # print one table/figure
+    python -m repro figure3 --seed 7
+    python -m repro figure5 --pair cnn_fn nyt_ap
+    python -m repro report                    # full Markdown report
+    python -m repro ablations                 # all ablation studies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    group_mt,
+    hierarchy,
+    table2,
+    table3,
+)
+from repro.experiments.ablations import (
+    ablate_heuristic_threshold,
+    ablate_history,
+    ablate_latency,
+    ablate_limd_parameters,
+    ablate_partition,
+    ablate_smoothing,
+    ablate_trigger_semantics,
+    render_ablation,
+)
+from repro.experiments.workloads import DEFAULT_SEED
+
+#: Experiment name → (description, runner taking the parsed namespace).
+_EXPERIMENTS: Dict[str, tuple] = {}
+
+
+def _register(name: str, description: str):
+    def wrap(func: Callable[[argparse.Namespace], str]):
+        _EXPERIMENTS[name] = (description, func)
+        return func
+
+    return wrap
+
+
+@_register("table2", "Table 2: temporal workload characteristics")
+def _run_table2(args: argparse.Namespace) -> str:
+    return table2.render(seed=args.seed)
+
+
+@_register("table3", "Table 3: value workload characteristics")
+def _run_table3(args: argparse.Namespace) -> str:
+    return table3.render(seed=args.seed)
+
+
+@_register("figure3", "Figure 3: LIMD vs baseline polls/fidelity vs delta")
+def _run_figure3(args: argparse.Namespace) -> str:
+    return figure3.render(seed=args.seed, trace_key=args.trace)
+
+
+@_register("figure4", "Figure 4: LIMD adaptivity over time")
+def _run_figure4(args: argparse.Namespace) -> str:
+    return figure4.render(seed=args.seed, trace_key=args.trace)
+
+
+@_register("figure5", "Figure 5: mutual temporal approaches vs delta")
+def _run_figure5(args: argparse.Namespace) -> str:
+    return figure5.render(seed=args.seed, pair=tuple(args.pair))
+
+
+@_register("figure6", "Figure 6: heuristic adaptivity over time")
+def _run_figure6(args: argparse.Namespace) -> str:
+    return figure6.render(seed=args.seed, pair=tuple(args.pair_fig6))
+
+
+@_register("figure7", "Figure 7: mutual value approaches vs delta")
+def _run_figure7(args: argparse.Namespace) -> str:
+    return figure7.render(seed=args.seed)
+
+
+@_register("figure8", "Figure 8: f at proxy vs server over time")
+def _run_figure8(args: argparse.Namespace) -> str:
+    return figure8.render(seed=args.seed)
+
+
+@_register("group_mt", "Extension: n-object mutual temporal consistency")
+def _run_group_mt(args: argparse.Namespace) -> str:
+    return group_mt.render(seed=args.seed)
+
+
+@_register("hierarchy", "Extension: flat vs hierarchical proxy topologies")
+def _run_hierarchy(args: argparse.Namespace) -> str:
+    return hierarchy.render(seed=args.seed, trace_key=args.trace)
+
+
+@_register("ablations", "All ablation studies")
+def _run_ablations(args: argparse.Namespace) -> str:
+    sections = [
+        render_ablation(
+            ablate_history(seed=args.seed),
+            "Ablation: violation detection modes",
+        ),
+        render_ablation(
+            ablate_heuristic_threshold(seed=args.seed),
+            "Ablation: heuristic rate-ratio threshold",
+        ),
+        render_ablation(
+            ablate_partition(seed=args.seed),
+            "Ablation: static vs dynamic delta split",
+        ),
+        render_ablation(
+            ablate_smoothing(seed=args.seed), "Ablation: Eq. 10 alpha sweep"
+        ),
+        render_ablation(
+            ablate_limd_parameters(seed=args.seed),
+            "Ablation: LIMD l/m tuning",
+        ),
+        render_ablation(
+            ablate_latency(seed=args.seed),
+            "Ablation: network-latency sensitivity",
+        ),
+        render_ablation(
+            ablate_trigger_semantics(seed=args.seed),
+            "Ablation: trigger semantics",
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+@_register("report", "Full Markdown reproduction report")
+def _run_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import generate
+
+    return generate(seed=args.seed)
+
+
+def _list_experiments() -> str:
+    width = max(len(name) for name in _EXPERIMENTS)
+    lines = ["Available experiments:"]
+    for name in sorted(_EXPERIMENTS):
+        description, _ = _EXPERIMENTS[name]
+        lines.append(f"  {name.ljust(width)}  {description}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Maintaining Mutual Consistency for Cached "
+            "Web Objects' (ICDCS 2001): regenerate any table or figure."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, or 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"workload seed (default {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--trace",
+        default="cnn_fn",
+        choices=("cnn_fn", "nyt_ap", "nyt_reuters", "guardian"),
+        help="news trace for figures 3-4 (default cnn_fn)",
+    )
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        default=("cnn_fn", "nyt_ap"),
+        metavar=("A", "B"),
+        help="trace pair for figure 5 (default: cnn_fn nyt_ap)",
+    )
+    parser.add_argument(
+        "--pair-fig6",
+        dest="pair_fig6",
+        nargs=2,
+        default=("nyt_ap", "nyt_reuters"),
+        metavar=("A", "B"),
+        help="trace pair for figure 6 (default: nyt_ap nyt_reuters)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run one experiment and print its output."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print(_list_experiments())
+        return 0
+    entry = _EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        print(
+            f"unknown experiment {args.experiment!r}\n\n{_list_experiments()}",
+            file=sys.stderr,
+        )
+        return 2
+    _description, runner = entry
+    print(runner(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

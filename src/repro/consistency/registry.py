@@ -1,0 +1,119 @@
+"""Policy registry: build refresh policies by name.
+
+Experiments and examples configure policies from strings/dicts (e.g.
+sweep definitions); the registry centralises name → factory resolution
+so new policies plug in without touching the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.consistency.adaptive_value import (
+    AdaptiveValueParameters,
+    adaptive_value_policy_factory,
+)
+from repro.consistency.base import (
+    PolicyFactory,
+    fixed_policy_factory,
+    passive_policy_factory,
+)
+from repro.consistency.limd import LimdParameters, limd_policy_factory
+from repro.consistency.ttl import alex_policy_factory, static_ttl_policy_factory
+from repro.core.errors import PolicyConfigurationError
+from repro.core.types import Seconds
+
+#: A registry entry: builds a PolicyFactory from keyword arguments.
+FactoryBuilder = Callable[..., PolicyFactory]
+
+_REGISTRY: Dict[str, FactoryBuilder] = {}
+
+
+def register_policy(name: str, builder: FactoryBuilder) -> None:
+    """Register a policy builder under a unique name."""
+    if name in _REGISTRY:
+        raise PolicyConfigurationError(f"policy {name!r} already registered")
+    _REGISTRY[name] = builder
+
+
+def available_policies() -> list[str]:
+    """Names of all registered policies, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_policy_factory(name: str, **kwargs) -> PolicyFactory:
+    """Build a policy factory by registered name.
+
+    Built-in names: ``baseline`` (fixed-interval poller), ``limd``,
+    ``adaptive_value``, ``passive``.
+    """
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise PolicyConfigurationError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        )
+    return builder(**kwargs)
+
+
+def _build_baseline(*, delta: Seconds) -> PolicyFactory:
+    """The paper's baseline: poll every Δ time units."""
+    return fixed_policy_factory(delta)
+
+
+def _build_limd(
+    *,
+    delta: Seconds,
+    ttr_max: Optional[Seconds] = None,
+    parameters: Optional[LimdParameters] = None,
+    detection_mode: str = "history",
+) -> PolicyFactory:
+    return limd_policy_factory(
+        delta,
+        ttr_max=ttr_max,
+        parameters=parameters if parameters is not None else LimdParameters(),
+        detection_mode=detection_mode,
+    )
+
+
+def _build_adaptive_value(
+    *,
+    delta: float,
+    ttr_min: Seconds,
+    ttr_max: Seconds,
+    parameters: Optional[AdaptiveValueParameters] = None,
+) -> PolicyFactory:
+    return adaptive_value_policy_factory(
+        delta,
+        ttr_min=ttr_min,
+        ttr_max=ttr_max,
+        parameters=(
+            parameters if parameters is not None else AdaptiveValueParameters()
+        ),
+    )
+
+
+def _build_passive() -> PolicyFactory:
+    return passive_policy_factory()
+
+
+def _build_static_ttl(*, ttl: Seconds) -> PolicyFactory:
+    return static_ttl_policy_factory(ttl)
+
+
+def _build_alex(
+    *,
+    ttr_min: Seconds,
+    ttr_max: Seconds,
+    update_threshold: float = 0.2,
+) -> PolicyFactory:
+    return alex_policy_factory(
+        ttr_min=ttr_min, ttr_max=ttr_max, update_threshold=update_threshold
+    )
+
+
+register_policy("baseline", _build_baseline)
+register_policy("limd", _build_limd)
+register_policy("adaptive_value", _build_adaptive_value)
+register_policy("passive", _build_passive)
+register_policy("static_ttl", _build_static_ttl)
+register_policy("alex", _build_alex)

@@ -1,0 +1,55 @@
+"""Clock abstractions.
+
+The simulation kernel owns the authoritative clock; components that only
+need to *read* time depend on the narrow :class:`Clock` protocol so they
+can be unit-tested with a :class:`ManualClock` without spinning up a
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.types import Seconds
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Read-only access to the current simulation time."""
+
+    def now(self) -> Seconds:
+        """Return the current time in seconds."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ManualClock:
+    """A clock advanced explicitly by tests or generators.
+
+    The clock never moves backwards; attempting to do so raises
+    ``ValueError`` so that test bugs surface immediately.
+    """
+
+    def __init__(self, start: Seconds = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be >= 0, got {start}")
+        self._now: Seconds = start
+
+    def now(self) -> Seconds:
+        return self._now
+
+    def advance(self, dt: Seconds) -> Seconds:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def set(self, t: Seconds) -> Seconds:
+        """Jump the clock to an absolute time ``t`` (must not go backwards)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards from {self._now} to {t}")
+        self._now = t
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now})"

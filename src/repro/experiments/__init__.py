@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper table/figure, plus shared
+runner/sweep/render infrastructure.
+
+Modules:
+    * :mod:`repro.experiments.table2` / :mod:`~repro.experiments.table3`
+      — workload characterisation tables.
+    * :mod:`repro.experiments.figure3` — LIMD vs baseline (Δ sweep).
+    * :mod:`repro.experiments.figure4` — LIMD adaptivity over time.
+    * :mod:`repro.experiments.figure5` — Mt approaches (δ sweep).
+    * :mod:`repro.experiments.figure6` — heuristic adaptivity over time.
+    * :mod:`repro.experiments.figure7` — Mv approaches (δ sweep).
+    * :mod:`repro.experiments.figure8` — f at proxy vs server over time.
+    * :mod:`repro.experiments.ablations` — design-choice studies.
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    run_individual,
+    run_mutual_temporal,
+    run_mutual_value_adaptive,
+    run_mutual_value_group,
+    run_mutual_value_partitioned,
+)
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.workloads import (
+    DEFAULT_SEED,
+    news_trace,
+    news_traces,
+    stock_trace,
+    stock_traces,
+)
+
+__all__ = [
+    "RunResult",
+    "run_individual",
+    "run_mutual_temporal",
+    "run_mutual_value_adaptive",
+    "run_mutual_value_group",
+    "run_mutual_value_partitioned",
+    "SweepResult",
+    "run_sweep",
+    "DEFAULT_SEED",
+    "news_trace",
+    "news_traces",
+    "stock_trace",
+    "stock_traces",
+]

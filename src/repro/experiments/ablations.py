@@ -1,0 +1,412 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Each ablation isolates one mechanism and quantifies its effect:
+
+* :func:`ablate_history` — violation-detection modes (§5.1): the exact
+  history extension vs plain Last-Modified vs probabilistic inference.
+* :func:`ablate_heuristic_threshold` — the rate-ratio gate of the §3.2
+  heuristic, swept from permissive to strict.
+* :func:`ablate_partition` — static 50/50 δ split vs dynamic rate-based
+  re-apportioning (§4.2).
+* :func:`ablate_smoothing` — the α knob of Eq. 10 (conservatism vs
+  responsiveness for low-locality data).
+* :func:`ablate_trigger_semantics` — triggered polls as *additional*
+  polls (paper semantics) vs polls that *replace* the next scheduled
+  refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.consistency.adaptive_value import AdaptiveValueParameters
+from repro.consistency.limd import limd_policy_factory
+from repro.consistency.mutual_temporal import (
+    MutualTemporalCoordinator,
+    MutualTemporalMode,
+)
+from repro.consistency.mutual_value import PartitionParameters
+from repro.core.types import MINUTE, Seconds, TTRBounds
+from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
+from repro.experiments.figure7 import VALUE_BOUNDS
+from repro.experiments.render import render_dict_rows
+from repro.experiments.runner import (
+    run_individual,
+    run_mutual_temporal,
+    run_mutual_value_partitioned,
+)
+from repro.experiments.workloads import DEFAULT_SEED, news_trace, stock_trace
+from repro.groups.registry import GroupRegistry
+from repro.httpsim.network import LatencyModel, Network
+from repro.metrics.collector import (
+    collect_mutual_synchrony,
+    collect_mutual_value,
+    collect_temporal,
+)
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import feed_traces
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import EventLog
+
+DETECTION_MODES = ("history", "last_modified_only", "inferred")
+
+
+def ablate_history(
+    *,
+    trace_key: str = "guardian",
+    delta: Seconds = 5 * MINUTE,
+    seed: int = DEFAULT_SEED,
+) -> List[Dict[str, object]]:
+    """Compare violation-detection modes on a fast-changing trace.
+
+    The Guardian trace updates every ~4.9 min, so a 5-min bound makes
+    Figure 1(b)-style multi-update intervals common — exactly where the
+    modes differ.  Expected: history detects the most violations (and
+    therefore backs off hardest / keeps fidelity highest per poll);
+    last-modified-only detects the fewest.
+    """
+    trace = news_trace(trace_key, seed)
+    rows: List[Dict[str, object]] = []
+    for mode in DETECTION_MODES:
+        result = run_individual(
+            [trace],
+            limd_policy_factory(
+                delta,
+                ttr_max=TTR_MAX,
+                parameters=PAPER_LIMD_PARAMETERS,
+                detection_mode=mode,
+            ),
+            supports_history=(mode == "history"),
+            want_history=(mode == "history"),
+        )
+        report = collect_temporal(result.proxy, trace, delta).report
+        rows.append(
+            {
+                "detection": mode,
+                "polls": report.polls,
+                "violations": report.violations,
+                "fidelity": report.fidelity_by_violations,
+                "fidelity_time": report.fidelity_by_time,
+            }
+        )
+    return rows
+
+
+def ablate_heuristic_threshold(
+    *,
+    pair: Sequence[str] = ("cnn_fn", "nyt_ap"),
+    delta: Seconds = 10 * MINUTE,
+    mutual_delta: Seconds = 2 * MINUTE,
+    thresholds: Sequence[float] = (0.25, 0.5, 0.8, 1.0, 2.0),
+    seed: int = DEFAULT_SEED,
+) -> List[Dict[str, object]]:
+    """Sweep the §3.2 heuristic's rate-ratio gate.
+
+    Low thresholds trigger almost like the full triggered approach
+    (more polls, higher fidelity); high thresholds suppress almost
+    everything (fewer polls, lower fidelity).
+    """
+    key_a, key_b = pair
+    trace_a = news_trace(key_a, seed)
+    trace_b = news_trace(key_b, seed)
+    factory = limd_policy_factory(
+        delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    )
+    rows: List[Dict[str, object]] = []
+    for threshold in thresholds:
+        result = run_mutual_temporal(
+            trace_a,
+            trace_b,
+            factory,
+            mutual_delta,
+            MutualTemporalMode.HEURISTIC,
+            rate_ratio_threshold=threshold,
+        )
+        synchrony = collect_mutual_synchrony(
+            result.proxy, trace_a.object_id, trace_b.object_id, mutual_delta
+        )
+        coordinator = result.mutual_coordinator
+        assert coordinator is not None
+        rows.append(
+            {
+                "threshold": threshold,
+                "polls": synchrony.total_polls,
+                "extra_polls": coordinator.extra_polls,
+                "suppressed_slower": coordinator.counters.get(
+                    "suppressed_slower_rate"
+                ),
+                "fidelity": synchrony.report.fidelity_by_violations,
+            }
+        )
+    return rows
+
+
+def ablate_partition(
+    *,
+    pair: Sequence[str] = ("att", "yahoo"),
+    mutual_delta: float = 0.6,
+    seed: int = DEFAULT_SEED,
+    bounds: TTRBounds = VALUE_BOUNDS,
+) -> List[Dict[str, object]]:
+    """Static 50/50 δ split vs dynamic rate-based re-apportioning.
+
+    With one fast and one slow object, a static split wastes tolerance
+    on the slow object; dynamic apportioning shifts tolerance to the
+    slow side and tightens the fast side, improving fidelity per poll.
+    """
+    key_a, key_b = pair
+    trace_a = stock_trace(key_a, seed)
+    trace_b = stock_trace(key_b, seed)
+    rows: List[Dict[str, object]] = []
+    for label, interval in (("static", None), ("dynamic", 60.0)):
+        result = run_mutual_value_partitioned(
+            trace_a,
+            trace_b,
+            mutual_delta,
+            bounds=bounds,
+            parameters=PartitionParameters(reapportion_interval=interval),
+        )
+        pair_report = collect_mutual_value(
+            result.proxy, trace_a, trace_b, mutual_delta
+        )
+        coordinator = result.partitioned
+        assert coordinator is not None
+        delta_a, delta_b = coordinator.current_split
+        rows.append(
+            {
+                "split": label,
+                "polls": pair_report.total_polls,
+                "fidelity": pair_report.report.fidelity_by_violations,
+                "fidelity_time": pair_report.report.fidelity_by_time,
+                "final_delta_a": delta_a,
+                "final_delta_b": delta_b,
+            }
+        )
+    return rows
+
+
+def ablate_smoothing(
+    *,
+    pair: Sequence[str] = ("att", "yahoo"),
+    mutual_delta: float = 0.6,
+    alphas: Sequence[float] = (0.3, 0.5, 0.7, 0.9, 1.0),
+    seed: int = DEFAULT_SEED,
+    bounds: TTRBounds = VALUE_BOUNDS,
+) -> List[Dict[str, object]]:
+    """Sweep Eq. 10's α on the partitioned Mv approach.
+
+    Small α biases toward the most conservative TTR observed (more
+    polls, higher fidelity) — the paper's prescription for data with
+    weak temporal locality.
+    """
+    key_a, key_b = pair
+    trace_a = stock_trace(key_a, seed)
+    trace_b = stock_trace(key_b, seed)
+    rows: List[Dict[str, object]] = []
+    for alpha in alphas:
+        result = run_mutual_value_partitioned(
+            trace_a,
+            trace_b,
+            mutual_delta,
+            bounds=bounds,
+            parameters=PartitionParameters(
+                value_parameters=AdaptiveValueParameters(alpha=alpha)
+            ),
+        )
+        pair_report = collect_mutual_value(
+            result.proxy, trace_a, trace_b, mutual_delta
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "polls": pair_report.total_polls,
+                "fidelity": pair_report.report.fidelity_by_violations,
+                "fidelity_time": pair_report.report.fidelity_by_time,
+            }
+        )
+    return rows
+
+
+def ablate_trigger_semantics(
+    *,
+    pair: Sequence[str] = ("cnn_fn", "nyt_ap"),
+    delta: Seconds = 10 * MINUTE,
+    mutual_delta: Seconds = 2 * MINUTE,
+    seed: int = DEFAULT_SEED,
+) -> List[Dict[str, object]]:
+    """Triggered polls as additional vs schedule-replacing polls.
+
+    The paper's accounting treats triggered polls as *extra* polls on
+    top of the unchanged LIMD schedule.  The alternative — letting a
+    triggered poll replace the next scheduled one — re-phases the LIMD
+    schedule toward the partner's update instants.
+    """
+    key_a, key_b = pair
+    trace_a = news_trace(key_a, seed)
+    trace_b = news_trace(key_b, seed)
+    rows: List[Dict[str, object]] = []
+    for label, reschedule in (("additional", False), ("replace", True)):
+        kernel = Kernel()
+        event_log = EventLog(enabled=False)
+        server = OriginServer(supports_history=True, event_log=event_log)
+        feed_traces(kernel, server, (trace_a, trace_b))
+        proxy = ProxyCache(
+            kernel,
+            Network(kernel, LatencyModel()),
+            want_history=True,
+            triggered_polls_reschedule=reschedule,
+        )
+        groups = GroupRegistry()
+        groups.create_group(
+            "pair", (trace_a.object_id, trace_b.object_id), mutual_delta
+        )
+        coordinator = MutualTemporalCoordinator(
+            proxy, groups, mode=MutualTemporalMode.TRIGGERED
+        )
+        factory = limd_policy_factory(
+            delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+        )
+        for trace in (trace_a, trace_b):
+            proxy.register_object(
+                trace.object_id, server, factory(trace.object_id)
+            )
+        kernel.run(until=max(trace_a.end_time, trace_b.end_time))
+        synchrony = collect_mutual_synchrony(
+            proxy, trace_a.object_id, trace_b.object_id, mutual_delta
+        )
+        rows.append(
+            {
+                "semantics": label,
+                "polls": synchrony.total_polls,
+                "extra_polls": coordinator.extra_polls,
+                "fidelity": synchrony.report.fidelity_by_violations,
+            }
+        )
+    return rows
+
+
+def ablate_limd_parameters(
+    *,
+    trace_key: str = "cnn_fn",
+    delta: Seconds = 10 * MINUTE,
+    seed: int = DEFAULT_SEED,
+) -> List[Dict[str, object]]:
+    """Sweep LIMD's l (growth) and m (back-off) knobs (§3.1).
+
+    The paper calls the approach tunable: "optimistic" with a large
+    linear growth factor (fewer polls, aggressive TTR growth), or
+    "conservative" with a strong multiplicative back-off (more polls,
+    quicker recovery after violations).  Adaptive m is the paper's
+    evaluation setting (m = Δ / observed out-of-sync time).
+    """
+    from repro.consistency.limd import LimdParameters
+
+    trace = news_trace(trace_key, seed)
+    configurations = (
+        ("conservative", LimdParameters(linear_increase=0.05, epsilon=0.02)),
+        ("paper", PAPER_LIMD_PARAMETERS),
+        ("optimistic", LimdParameters(linear_increase=0.5, epsilon=0.02)),
+        (
+            "hard_backoff",
+            LimdParameters(
+                linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.2
+            ),
+        ),
+        (
+            "soft_backoff",
+            LimdParameters(
+                linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.8
+            ),
+        ),
+    )
+    rows: List[Dict[str, object]] = []
+    for label, parameters in configurations:
+        result = run_individual(
+            [trace],
+            limd_policy_factory(delta, ttr_max=TTR_MAX, parameters=parameters),
+        )
+        report = collect_temporal(result.proxy, trace, delta).report
+        m = parameters.multiplicative_decrease
+        rows.append(
+            {
+                "tuning": label,
+                "l": parameters.linear_increase,
+                "m": "adaptive" if m is None else m,
+                "polls": report.polls,
+                "violations": report.violations,
+                "fidelity": report.fidelity_by_violations,
+                "fidelity_time": report.fidelity_by_time,
+            }
+        )
+    return rows
+
+
+def ablate_latency(
+    *,
+    trace_key: str = "cnn_fn",
+    delta: Seconds = 10 * MINUTE,
+    latencies: Sequence[Seconds] = (0.0, 30.0, 150.0, 300.0, 600.0),
+    seed: int = DEFAULT_SEED,
+) -> List[Dict[str, object]]:
+    """Sensitivity of LIMD to network latency (the paper's §6.1.1 fix).
+
+    The paper fixes latency ("we are primarily interested in efficacy of
+    cache consistency mechanisms rather than network dynamics"); this
+    ablation quantifies what that assumption hides.  A poll's response
+    arrives one round trip after it was issued, so the effective poll
+    period stretches by 2·latency and the copy's staleness floor rises —
+    fidelity degrades as the one-way latency approaches Δ.
+    """
+    trace = news_trace(trace_key, seed)
+    rows: List[Dict[str, object]] = []
+    for latency in latencies:
+        result = run_individual(
+            [trace],
+            limd_policy_factory(
+                delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+            ),
+            latency=LatencyModel(one_way=latency),
+        )
+        report = collect_temporal(result.proxy, trace, delta).report
+        rows.append(
+            {
+                "one_way_latency_s": latency,
+                "latency_over_delta": latency / delta,
+                "polls": report.polls,
+                "fidelity": report.fidelity_by_violations,
+                "fidelity_time": report.fidelity_by_time,
+            }
+        )
+    return rows
+
+
+def render_ablation(rows: List[Dict[str, object]], title: str) -> str:
+    """Render any ablation's rows as an ASCII table."""
+    return render_dict_rows(rows, title=title)
+
+
+if __name__ == "__main__":
+    print(render_ablation(ablate_history(), "Ablation: violation detection modes"))
+    print()
+    print(
+        render_ablation(
+            ablate_heuristic_threshold(), "Ablation: heuristic rate threshold"
+        )
+    )
+    print()
+    print(render_ablation(ablate_partition(), "Ablation: static vs dynamic split"))
+    print()
+    print(render_ablation(ablate_smoothing(), "Ablation: Eq. 10 alpha"))
+    print()
+    print(
+        render_ablation(
+            ablate_limd_parameters(), "Ablation: LIMD l/m tuning"
+        )
+    )
+    print()
+    print(
+        render_ablation(
+            ablate_trigger_semantics(), "Ablation: trigger semantics"
+        )
+    )

@@ -1,0 +1,118 @@
+"""Figure 3 — efficacy of the LIMD algorithm on the CNN/FN trace.
+
+Sweeps the Δt-consistency constraint from 1 to 60 minutes and, for both
+LIMD (l = 0.2, ε = 0.02, adaptive m, TTR_max = 60 min) and the
+poll-every-Δ baseline, reports:
+
+* (a) number of polls,
+* (b) fidelity by violations (Eq. 13),
+* (c) fidelity by out-of-sync time (Eq. 14).
+
+Expected shape: LIMD ≪ baseline polls at small Δ (the paper sees ~6×
+fewer at Δ = 1 min, at ~20% fidelity cost) and LIMD → baseline (with
+fidelity → 1) once Δ exceeds the mean update interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.consistency.base import fixed_policy_factory
+from repro.consistency.limd import LimdParameters, limd_policy_factory
+from repro.core.types import MINUTE, Seconds
+from repro.experiments.render import render_dict_rows
+from repro.experiments.runner import run_individual
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.metrics.collector import collect_temporal
+from repro.traces.model import UpdateTrace
+
+#: Δ values (minutes) swept by the paper's Figure 3.
+DEFAULT_DELTAS_MIN: Sequence[float] = (1, 2, 5, 10, 15, 20, 30, 40, 50, 60)
+
+#: The paper's LIMD configuration (Section 6.2.1).
+PAPER_LIMD_PARAMETERS = LimdParameters(linear_increase=0.2, epsilon=0.02)
+
+TTR_MAX: Seconds = 60 * MINUTE
+
+
+def evaluate_delta(
+    trace: UpdateTrace,
+    delta: Seconds,
+    *,
+    parameters: LimdParameters = PAPER_LIMD_PARAMETERS,
+    detection_mode: str = "history",
+) -> Dict[str, object]:
+    """One sweep point: run LIMD and the baseline at a given Δ."""
+    limd_run = run_individual(
+        [trace],
+        limd_policy_factory(
+            delta,
+            ttr_max=TTR_MAX,
+            parameters=parameters,
+            detection_mode=detection_mode,
+        ),
+    )
+    limd_report = collect_temporal(limd_run.proxy, trace, delta).report
+
+    baseline_run = run_individual([trace], fixed_policy_factory(delta))
+    baseline_report = collect_temporal(baseline_run.proxy, trace, delta).report
+
+    return {
+        "limd_polls": limd_report.polls,
+        "baseline_polls": baseline_report.polls,
+        "limd_fidelity_violations": limd_report.fidelity_by_violations,
+        "limd_fidelity_time": limd_report.fidelity_by_time,
+        "baseline_fidelity_violations": baseline_report.fidelity_by_violations,
+        "baseline_fidelity_time": baseline_report.fidelity_by_time,
+        "poll_ratio": (
+            baseline_report.polls / limd_report.polls
+            if limd_report.polls
+            else float("inf")
+        ),
+    }
+
+
+def run(
+    *,
+    trace_key: str = "cnn_fn",
+    deltas_min: Sequence[float] = DEFAULT_DELTAS_MIN,
+    seed: int = DEFAULT_SEED,
+    detection_mode: str = "history",
+) -> SweepResult:
+    """Run the full Figure 3 sweep."""
+    trace = news_trace(trace_key, seed)
+    return run_sweep(
+        "delta_min",
+        deltas_min,
+        lambda delta_min: evaluate_delta(
+            trace, delta_min * MINUTE, detection_mode=detection_mode
+        ),
+        extra_columns={"trace": trace_key},
+    )
+
+
+def render(result: Optional[SweepResult] = None, **kwargs) -> str:
+    """Render the Figure 3 sweep as ASCII tables."""
+    if result is None:
+        result = run(**kwargs)
+    return render_dict_rows(
+        result.rows,
+        columns=[
+            "delta_min",
+            "limd_polls",
+            "baseline_polls",
+            "poll_ratio",
+            "limd_fidelity_violations",
+            "limd_fidelity_time",
+            "baseline_fidelity_violations",
+        ],
+        title=(
+            "Figure 3: LIMD vs baseline on the CNN/FN trace "
+            "(polls and fidelity vs delta)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,114 @@
+"""Figure 7 — mutual value consistency: polls and fidelity vs δ ($).
+
+On the AT&T + Yahoo stock pair, sweeps the mutual tolerance δ from
+$0.25 to $5 and compares the two Section 4.2 approaches:
+
+* **adaptive** — the virtual-object (adaptive-f) approach;
+* **partitioned** — split δ = δa + δb with rate-based re-apportioning.
+
+Expected shape: both approaches poll less and achieve higher fidelity
+as δ grows; the partitioned approach achieves higher fidelity at the
+cost of more polls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.consistency.mutual_value import difference
+from repro.core.types import TTRBounds
+from repro.experiments.render import render_dict_rows
+from repro.experiments.runner import (
+    run_mutual_value_adaptive,
+    run_mutual_value_partitioned,
+)
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.workloads import DEFAULT_SEED, stock_trace
+from repro.metrics.collector import collect_mutual_value
+from repro.traces.model import UpdateTrace
+
+#: δ values (dollars) swept by the paper's Figure 7.
+DEFAULT_MUTUAL_DELTAS: Sequence[float] = (0.25, 0.5, 0.6, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0)
+
+#: TTR clamp for the stock experiments: quotes can be re-polled after a
+#: second; a minute-long blind spot is the most we allow.
+VALUE_BOUNDS = TTRBounds(ttr_min=1.0, ttr_max=60.0)
+
+
+def evaluate_mutual_delta(
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    mutual_delta: float,
+    *,
+    bounds: TTRBounds = VALUE_BOUNDS,
+) -> Dict[str, object]:
+    """One sweep point: both Mv approaches at one δ."""
+    row: Dict[str, object] = {}
+
+    adaptive = run_mutual_value_adaptive(
+        trace_a, trace_b, mutual_delta, bounds=bounds
+    )
+    adaptive_pair = collect_mutual_value(
+        adaptive.proxy, trace_a, trace_b, mutual_delta, f=difference
+    )
+    row["adaptive_polls"] = adaptive_pair.total_polls
+    row["adaptive_fidelity"] = adaptive_pair.report.fidelity_by_violations
+    row["adaptive_fidelity_time"] = adaptive_pair.report.fidelity_by_time
+
+    partitioned = run_mutual_value_partitioned(
+        trace_a, trace_b, mutual_delta, bounds=bounds
+    )
+    partitioned_pair = collect_mutual_value(
+        partitioned.proxy, trace_a, trace_b, mutual_delta, f=difference
+    )
+    row["partitioned_polls"] = partitioned_pair.total_polls
+    row["partitioned_fidelity"] = partitioned_pair.report.fidelity_by_violations
+    row["partitioned_fidelity_time"] = partitioned_pair.report.fidelity_by_time
+    return row
+
+
+def run(
+    *,
+    pair: Sequence[str] = ("att", "yahoo"),
+    mutual_deltas: Sequence[float] = DEFAULT_MUTUAL_DELTAS,
+    seed: int = DEFAULT_SEED,
+    bounds: TTRBounds = VALUE_BOUNDS,
+) -> SweepResult:
+    """Run the full Figure 7 sweep."""
+    key_a, key_b = pair
+    trace_a = stock_trace(key_a, seed)
+    trace_b = stock_trace(key_b, seed)
+    return run_sweep(
+        "mutual_delta",
+        mutual_deltas,
+        lambda delta: evaluate_mutual_delta(
+            trace_a, trace_b, delta, bounds=bounds
+        ),
+        extra_columns={"pair": f"{key_a}+{key_b}"},
+    )
+
+
+def render(result: Optional[SweepResult] = None, **kwargs) -> str:
+    """Render the Figure 7 sweep as an ASCII table."""
+    if result is None:
+        result = run(**kwargs)
+    return render_dict_rows(
+        result.rows,
+        columns=[
+            "mutual_delta",
+            "adaptive_polls",
+            "partitioned_polls",
+            "adaptive_fidelity",
+            "partitioned_fidelity",
+            "adaptive_fidelity_time",
+            "partitioned_fidelity_time",
+        ],
+        title=(
+            "Figure 7: Mutual value consistency on the AT&T + Yahoo pair "
+            "(polls and fidelity vs mutual delta, $)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,125 @@
+"""Figure 8 — f at the proxy vs the server over time (δ = $0.6).
+
+Plots the difference in the two stock prices as tracked by each Mv
+approach against the true server-side difference, over the window
+[2500 s, 5000 s] of the AT&T + Yahoo pair.  The partitioned approach is
+expected to hug the server series more tightly than adaptive-f.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.timeseries import Series
+from repro.consistency.mutual_value import difference, paired_f_history
+from repro.core.types import Seconds, TTRBounds
+from repro.experiments.figure7 import VALUE_BOUNDS
+from repro.experiments.render import render_series_block
+from repro.experiments.runner import (
+    RunResult,
+    run_mutual_value_adaptive,
+    run_mutual_value_partitioned,
+)
+from repro.experiments.workloads import DEFAULT_SEED, stock_trace
+from repro.metrics.series import f_value_series, server_f_knots
+
+MUTUAL_DELTA = 0.6
+WINDOW: Tuple[Seconds, Seconds] = (2500.0, 5000.0)
+BIN: Seconds = 10.0
+
+
+@dataclass
+class Figure8Result:
+    """Server and proxy f series for both approaches."""
+
+    server: Series
+    adaptive_proxy: Series
+    partitioned_proxy: Series
+    adaptive_run: RunResult
+    partitioned_run: RunResult
+
+    def tracking_error(self, which: str) -> float:
+        """Mean |proxy − server| across bins (lower = tighter tracking)."""
+        proxy = (
+            self.adaptive_proxy if which == "adaptive" else self.partitioned_proxy
+        )
+        gaps = [
+            abs(p - s)
+            for p, s in zip(proxy.values, self.server.values)
+            if not (math.isnan(p) or math.isnan(s))
+        ]
+        return sum(gaps) / len(gaps) if gaps else math.nan
+
+
+def run(
+    *,
+    pair: Sequence[str] = ("att", "yahoo"),
+    mutual_delta: float = MUTUAL_DELTA,
+    window: Tuple[Seconds, Seconds] = WINDOW,
+    seed: int = DEFAULT_SEED,
+    bounds: TTRBounds = VALUE_BOUNDS,
+) -> Figure8Result:
+    """Run both Mv approaches and sample the three f series."""
+    key_a, key_b = pair
+    trace_a = stock_trace(key_a, seed)
+    trace_b = stock_trace(key_b, seed)
+    start, end = window
+
+    # The paper plots Yahoo − AT&T (a positive difference ~$130).
+    f = lambda a, b: difference(b, a)  # noqa: E731 - tiny adapter
+
+    server_series = f_value_series(
+        server_f_knots(trace_a, trace_b, f),
+        start=start, end=end, bin_width=BIN, label="server",
+    )
+
+    adaptive = run_mutual_value_adaptive(
+        trace_a, trace_b, mutual_delta, bounds=bounds
+    )
+    adaptive_series = f_value_series(
+        paired_f_history(adaptive.proxy, trace_a.object_id, trace_b.object_id, f),
+        start=start, end=end, bin_width=BIN, label="adaptive proxy",
+    )
+
+    partitioned = run_mutual_value_partitioned(
+        trace_a, trace_b, mutual_delta, bounds=bounds
+    )
+    partitioned_series = f_value_series(
+        paired_f_history(
+            partitioned.proxy, trace_a.object_id, trace_b.object_id, f
+        ),
+        start=start, end=end, bin_width=BIN, label="partitioned proxy",
+    )
+
+    return Figure8Result(
+        server=server_series,
+        adaptive_proxy=adaptive_series,
+        partitioned_proxy=partitioned_series,
+        adaptive_run=adaptive,
+        partitioned_run=partitioned,
+    )
+
+
+def render(result: Optional[Figure8Result] = None, **kwargs) -> str:
+    """Render the three Figure 8 f series as ASCII sparklines."""
+    if result is None:
+        result = run(**kwargs)
+    block = render_series_block(
+        [result.server, result.adaptive_proxy, result.partitioned_proxy],
+        title=(
+            "Figure 8: f (stock-price difference, $) at proxy vs server, "
+            "delta = $0.6, window [2500 s, 5000 s]"
+        ),
+    )
+    summary = (
+        f"\nmean tracking error: adaptive = "
+        f"{result.tracking_error('adaptive'):.4f}, "
+        f"partitioned = {result.tracking_error('partitioned'):.4f}"
+    )
+    return block + summary
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,113 @@
+"""Extension experiment: mutual temporal consistency for n-object groups.
+
+Figure 5 evaluates the Section 3.2 approaches on *pairs*; the paper
+notes all definitions "can be generalized to n objects".  This
+experiment runs a three-member news group (CNN/FN, NYT/AP,
+NYT/Reuters) under the same three modes and sweeps δ, reporting polls
+and the ground-truth n-object Mt fidelity (the Eq. 4 generalisation:
+the members' validity intervals must fit in a window of width δ —
+:func:`repro.metrics.group.group_temporal_fidelity`).
+
+Used by ``benchmarks/bench_extension_group_mt.py`` and the CLI
+(``python -m repro group_mt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.consistency.limd import limd_policy_factory
+from repro.consistency.mutual_temporal import (
+    MutualTemporalCoordinator,
+    MutualTemporalMode,
+)
+from repro.core.types import MINUTE, ObjectId, Seconds
+from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
+from repro.experiments.render import render_dict_rows
+from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.groups.registry import GroupRegistry
+from repro.httpsim.network import Network
+from repro.metrics.collector import temporal_fetches_of
+from repro.metrics.group import group_temporal_fidelity
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import feed_traces
+from repro.sim.kernel import Kernel
+
+DEFAULT_TRIO = ("cnn_fn", "nyt_ap", "nyt_reuters")
+DEFAULT_DELTA: Seconds = 10 * MINUTE
+DEFAULT_MUTUAL_DELTAS = (1.0, 5.0, 10.0, 20.0, 30.0)  # minutes
+
+
+def _run_mode(traces, mutual_delta: Seconds, mode: MutualTemporalMode):
+    kernel = Kernel()
+    server = OriginServer()
+    feed_traces(kernel, server, traces)
+    proxy = ProxyCache(kernel, Network(kernel))
+    groups = GroupRegistry()
+    members = tuple(trace.object_id for trace in traces)
+    groups.create_group("trio", members, mutual_delta)
+    coordinator = MutualTemporalCoordinator(proxy, groups, mode=mode)
+    factory = limd_policy_factory(
+        DEFAULT_DELTA, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    )
+    for trace in traces:
+        proxy.register_object(trace.object_id, server, factory(trace.object_id))
+    kernel.run(until=max(trace.end_time for trace in traces))
+
+    trace_map: Dict[ObjectId, object] = {t.object_id: t for t in traces}
+    fetches = {
+        object_id: temporal_fetches_of(proxy, object_id)
+        for object_id in members
+    }
+    report = group_temporal_fidelity(trace_map, fetches, mutual_delta)
+    return proxy, coordinator, report
+
+
+def run(
+    *,
+    seed: int = DEFAULT_SEED,
+    trio: Sequence[str] = DEFAULT_TRIO,
+    mutual_deltas_min: Sequence[float] = DEFAULT_MUTUAL_DELTAS,
+) -> List[Dict[str, object]]:
+    """Sweep δ for the three Section 3.2 modes over an n=3 group."""
+    traces = [news_trace(key, seed) for key in trio]
+    rows: List[Dict[str, object]] = []
+    for delta_min in mutual_deltas_min:
+        mutual_delta = delta_min * MINUTE
+        row: Dict[str, object] = {"mutual_delta_min": delta_min}
+        for mode in (
+            MutualTemporalMode.NONE,
+            MutualTemporalMode.HEURISTIC,
+            MutualTemporalMode.TRIGGERED,
+        ):
+            proxy, coordinator, report = _run_mode(traces, mutual_delta, mode)
+            label = "baseline" if mode is MutualTemporalMode.NONE else mode.value
+            row[f"{label}_polls"] = proxy.counters.get("polls")
+            row[f"{label}_fidelity_time"] = report.fidelity_by_time
+            if mode is not MutualTemporalMode.NONE:
+                row[f"{label}_extra"] = coordinator.extra_polls
+        rows.append(row)
+    return rows
+
+
+def render(
+    rows: List[Dict[str, object]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+    trio: Sequence[str] = DEFAULT_TRIO,
+) -> str:
+    """Render the sweep as an ASCII table."""
+    if rows is None:
+        rows = run(seed=seed, trio=trio)
+    return render_dict_rows(
+        rows,
+        title=(
+            "Extension: n-object mutual temporal consistency "
+            f"({' + '.join(DEFAULT_TRIO)}, delta = 10 min)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,143 @@
+"""Extension experiment: flat vs hierarchical proxy topologies.
+
+Not a paper figure — an extension in the spirit of the paper's related
+work on hierarchical WAN caching (refs [10, 11]).  Compares N edge
+proxies polling the origin directly against the same N edges polling a
+shared parent proxy, everything under LIMD at the same per-level Δ.
+
+Used by ``benchmarks/bench_extension_hierarchy.py`` and by the CLI
+(``python -m repro hierarchy``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.consistency.limd import LimdPolicy
+from repro.core.types import MINUTE, Seconds, TTRBounds
+from repro.experiments.render import render_dict_rows
+from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.httpsim.network import Network
+from repro.metrics.fidelity import temporal_fidelity_from_snapshots
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import feed_traces
+from repro.sim.kernel import Kernel
+from repro.traces.model import UpdateTrace
+
+DELTA: Seconds = 10 * MINUTE
+TTR_MAX: Seconds = 60 * MINUTE
+DEFAULT_EDGE_COUNT = 8
+
+
+def _limd_policy() -> LimdPolicy:
+    return LimdPolicy(DELTA, bounds=TTRBounds(ttr_min=DELTA, ttr_max=TTR_MAX))
+
+
+def _edge_fidelity(trace: UpdateTrace, proxy: ProxyCache, delta: Seconds) -> float:
+    """Time-fidelity from the snapshots the proxy actually held.
+
+    Snapshot-based evaluation is essential for hierarchy edges: an edge
+    poll refreshes to *parent*-current state, which can itself be
+    stale, so poll-time fidelity would overestimate freshness.
+    """
+    fetch_log = proxy.entry_for(trace.object_id).fetch_log
+    return temporal_fidelity_from_snapshots(
+        trace, fetch_log, delta
+    ).fidelity_by_time
+
+
+def _run_flat(trace: UpdateTrace, edge_count: int):
+    """N edges each polling the origin directly."""
+    kernel = Kernel()
+    origin = OriginServer()
+    feed_traces(kernel, origin, [trace])
+    edges = []
+    for index in range(edge_count):
+        edge = ProxyCache(kernel, Network(kernel), name=f"edge-{index}")
+        edge.register_object(trace.object_id, origin, _limd_policy())
+        edges.append(edge)
+    kernel.run(until=trace.end_time)
+    return origin, edges
+
+
+def _run_hierarchy(trace: UpdateTrace, edge_count: int):
+    """N edges polling one shared parent; only the parent polls origin."""
+    kernel = Kernel()
+    origin = OriginServer()
+    feed_traces(kernel, origin, [trace])
+    parent = ProxyCache(kernel, Network(kernel), name="parent")
+    parent.register_object(trace.object_id, origin, _limd_policy())
+    edges = []
+    for index in range(edge_count):
+        edge = ProxyCache(kernel, Network(kernel), name=f"edge-{index}")
+        edge.register_object(trace.object_id, parent, _limd_policy())
+        edges.append(edge)
+    kernel.run(until=trace.end_time)
+    return origin, parent, edges
+
+
+def run(
+    *,
+    seed: int = DEFAULT_SEED,
+    trace_key: str = "cnn_fn",
+    edge_count: int = DEFAULT_EDGE_COUNT,
+) -> List[Dict[str, object]]:
+    """Run both topologies and return the comparison rows."""
+    trace = news_trace(trace_key, seed)
+    flat_origin, flat_edges = _run_flat(trace, edge_count)
+    hier_origin, parent, hier_edges = _run_hierarchy(trace, edge_count)
+
+    def mean(values) -> float:
+        values = list(values)
+        return sum(values) / len(values)
+
+    return [
+        {
+            "topology": "flat",
+            "edges": edge_count,
+            "origin_requests": flat_origin.counters.get("requests"),
+            "parent_polls": None,
+            "edge_fidelity_1x": mean(
+                _edge_fidelity(trace, e, DELTA) for e in flat_edges
+            ),
+            "edge_fidelity_2x": mean(
+                _edge_fidelity(trace, e, 2 * DELTA) for e in flat_edges
+            ),
+        },
+        {
+            "topology": "hierarchy",
+            "edges": edge_count,
+            "origin_requests": hier_origin.counters.get("requests"),
+            "parent_polls": parent.counters.get("polls"),
+            "edge_fidelity_1x": mean(
+                _edge_fidelity(trace, e, DELTA) for e in hier_edges
+            ),
+            "edge_fidelity_2x": mean(
+                _edge_fidelity(trace, e, 2 * DELTA) for e in hier_edges
+            ),
+        },
+    ]
+
+
+def render(
+    rows: List[Dict[str, object]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+    trace_key: str = "cnn_fn",
+    edge_count: int = DEFAULT_EDGE_COUNT,
+) -> str:
+    """Render the comparison as an ASCII table."""
+    if rows is None:
+        rows = run(seed=seed, trace_key=trace_key, edge_count=edge_count)
+    return render_dict_rows(
+        rows,
+        title=(
+            "Extension: flat vs hierarchical proxies "
+            f"({trace_key}, {edge_count} edges, delta = 10 min/level)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(render())

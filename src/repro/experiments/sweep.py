@@ -1,0 +1,77 @@
+"""Parameter sweep driver.
+
+Every figure in the paper's evaluation is a sweep over a tolerance
+(Δ or δ): run the simulation once per value, extract metric columns,
+collect rows.  :class:`Sweep` standardises this and keeps every row a
+plain dict so rendering, assertions and regression checks stay trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.core.errors import ExperimentError
+
+#: One sweep point: maps the swept value to a row of metric columns.
+RowBuilder = Callable[[float], Mapping[str, object]]
+
+
+@dataclass
+class SweepResult:
+    """The collected rows of a sweep, with helpers for analysis."""
+
+    parameter: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across all rows (missing → raises)."""
+        try:
+            return [row[name] for row in self.rows]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"column {exc.args[0]!r} missing from sweep rows; "
+                f"available: {sorted(self.rows[0]) if self.rows else []}"
+            ) from None
+
+    def values(self) -> List[float]:
+        """The swept parameter values."""
+        return [float(row[self.parameter]) for row in self.rows]  # type: ignore[arg-type]
+
+    def row_for(self, value: float, *, tolerance: float = 1e-9) -> Dict[str, object]:
+        """The row whose swept value matches ``value``."""
+        for row in self.rows:
+            if abs(float(row[self.parameter]) - value) <= tolerance:  # type: ignore[arg-type]
+                return row
+        raise ExperimentError(
+            f"no row with {self.parameter} == {value} in sweep"
+        )
+
+
+def run_sweep(
+    parameter: str,
+    values: Iterable[float],
+    build_row: RowBuilder,
+    *,
+    extra_columns: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """Run ``build_row`` for each swept value and collect rows.
+
+    The swept value is stored in each row under ``parameter``; any
+    ``extra_columns`` (fixed experiment configuration worth recording)
+    are merged into every row.
+    """
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        row: Dict[str, object] = {parameter: value}
+        if extra_columns:
+            row.update(extra_columns)
+        produced = build_row(value)
+        overlap = set(produced) & set(row)
+        if overlap:
+            raise ExperimentError(
+                f"row builder produced reserved column(s): {sorted(overlap)}"
+            )
+        row.update(produced)
+        result.rows.append(row)
+    return result

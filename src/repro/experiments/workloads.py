@@ -1,0 +1,43 @@
+"""Canonical workloads for the paper-reproduction experiments.
+
+All experiments pull their traces from here so that a single seed
+reproduces the entire evaluation deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.rng import RngRegistry
+from repro.traces.model import UpdateTrace
+from repro.traces.news import generate_table2_traces
+from repro.traces.stocks import generate_table3_traces
+
+#: The seed used by every bench unless overridden.
+DEFAULT_SEED = 20010401  # ICDCS 2001, April
+
+
+def news_traces(seed: int = DEFAULT_SEED) -> Dict[str, UpdateTrace]:
+    """The four Table 2 news traces, keyed cnn_fn/nyt_ap/nyt_reuters/guardian."""
+    return generate_table2_traces(RngRegistry(seed))
+
+
+def stock_traces(seed: int = DEFAULT_SEED) -> Dict[str, UpdateTrace]:
+    """The two Table 3 stock traces, keyed att/yahoo."""
+    return generate_table3_traces(RngRegistry(seed))
+
+
+def news_trace(key: str, seed: int = DEFAULT_SEED) -> UpdateTrace:
+    """One Table 2 trace by key."""
+    traces = news_traces(seed)
+    if key not in traces:
+        raise KeyError(f"unknown news trace {key!r}; have {sorted(traces)}")
+    return traces[key]
+
+
+def stock_trace(key: str, seed: int = DEFAULT_SEED) -> UpdateTrace:
+    """One Table 3 trace by key."""
+    traces = stock_traces(seed)
+    if key not in traces:
+        raise KeyError(f"unknown stock trace {key!r}; have {sorted(traces)}")
+    return traces[key]

@@ -1,0 +1,118 @@
+"""Syntactic relationship extraction from HTML (paper Section 5.2).
+
+"Syntactic relationships can be deduced by parsing html documents for
+embedded links and objects."  This module extracts embedded-object
+references (images, scripts, stylesheets, media, frames) from an HTML
+document using the standard library parser, resolves them against the
+document URL, and feeds a dependency graph.
+
+Navigational ``<a href>`` links are *not* treated as embeddings by
+default: a page does not need to be mutually consistent with everything
+it merely links to.  Callers can opt in via ``include_anchors``.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import List, Optional, Set, Tuple
+from urllib.parse import urljoin, urldefrag
+
+from repro.core.types import ObjectId
+from repro.groups.dependency import DependencyGraph
+
+#: (tag, attribute) pairs whose values reference embedded objects.
+EMBED_ATTRIBUTES: Tuple[Tuple[str, str], ...] = (
+    ("img", "src"),
+    ("script", "src"),
+    ("iframe", "src"),
+    ("frame", "src"),
+    ("embed", "src"),
+    ("audio", "src"),
+    ("video", "src"),
+    ("source", "src"),
+    ("input", "src"),  # <input type="image">
+    ("object", "data"),
+    ("link", "href"),  # filtered to rel=stylesheet/icon below
+)
+
+#: ``<link rel=...>`` values that constitute embeddings.
+EMBEDDING_LINK_RELS = frozenset({"stylesheet", "icon", "shortcut icon"})
+
+
+class _EmbeddedObjectParser(HTMLParser):
+    """Collects embedded-object URLs from a document."""
+
+    def __init__(self, *, include_anchors: bool) -> None:
+        super().__init__(convert_charrefs=True)
+        self._include_anchors = include_anchors
+        self.references: List[str] = []
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        attributes = {name.lower(): value for name, value in attrs}
+        tag = tag.lower()
+        for embed_tag, attribute in EMBED_ATTRIBUTES:
+            if tag != embed_tag:
+                continue
+            value = attributes.get(attribute)
+            if not value:
+                continue
+            if tag == "link":
+                rel = (attributes.get("rel") or "").lower().strip()
+                if rel not in EMBEDDING_LINK_RELS:
+                    continue
+            self.references.append(value)
+        if self._include_anchors and tag == "a":
+            href = attributes.get("href")
+            if href:
+                self.references.append(href)
+
+
+def extract_embedded_urls(
+    html: str,
+    base_url: str,
+    *,
+    include_anchors: bool = False,
+) -> List[str]:
+    """Return absolute URLs of objects embedded in ``html``.
+
+    URLs are resolved against ``base_url``, fragments are stripped, and
+    duplicates are removed while preserving first-seen order.  Non-HTTP
+    schemes (``mailto:``, ``javascript:``, ``data:``) are dropped.
+    """
+    parser = _EmbeddedObjectParser(include_anchors=include_anchors)
+    parser.feed(html)
+    parser.close()
+    seen: Set[str] = set()
+    result: List[str] = []
+    for reference in parser.references:
+        absolute, _fragment = urldefrag(urljoin(base_url, reference.strip()))
+        if not absolute.startswith(("http://", "https://")):
+            continue
+        if absolute == base_url:
+            continue
+        if absolute not in seen:
+            seen.add(absolute)
+            result.append(absolute)
+    return result
+
+
+def relate_document(
+    graph: DependencyGraph,
+    document_url: str,
+    html: str,
+    *,
+    include_anchors: bool = False,
+) -> List[ObjectId]:
+    """Parse a document and relate it to its embedded objects in ``graph``.
+
+    Returns the embedded object ids that were related to the document.
+    The document itself is added as a node even if it embeds nothing.
+    """
+    document_id = ObjectId(document_url)
+    graph.add_object(document_id)
+    embedded: List[ObjectId] = []
+    for url in extract_embedded_urls(html, document_url, include_anchors=include_anchors):
+        embedded_id = ObjectId(url)
+        graph.relate(document_id, embedded_id)
+        embedded.append(embedded_id)
+    return embedded

@@ -1,0 +1,177 @@
+"""Simulated HTTP request/response messages.
+
+The simulation exchanges message objects rather than bytes, but the
+message model mirrors HTTP/1.1 where the paper depends on it: methods,
+status codes (200/304/404), case-insensitive headers, ``Last-Modified``
+and ``If-Modified-Since`` semantics, and the Section 5.1 extension
+headers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.core.types import ObjectId, Seconds
+from repro.httpsim import headers as h
+
+
+class Method(enum.Enum):
+    """HTTP request methods modelled by the simulation."""
+
+    GET = "GET"
+    HEAD = "HEAD"
+
+
+class Status(enum.IntEnum):
+    """HTTP status codes modelled by the simulation."""
+
+    OK = 200
+    NOT_MODIFIED = 304
+    NOT_FOUND = 404
+
+
+class Headers:
+    """A case-insensitive header multimap (single-valued per name).
+
+    HTTP header names are case-insensitive; we store them lower-cased
+    and preserve insertion order for deterministic serialisation.
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, str]] = None) -> None:
+        self._entries: Dict[str, str] = {}
+        if initial:
+            for name, value in initial.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        if not name:
+            raise ValueError("header name must be non-empty")
+        self._entries[name.lower()] = value
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self._entries.get(name.lower(), default)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def copy(self) -> "Headers":
+        return Headers(dict(self._entries))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"Headers({self._entries})"
+
+
+@dataclass
+class Request:
+    """A simulated HTTP request from proxy (or client) to a server."""
+
+    method: Method
+    object_id: ObjectId
+    headers: Headers = field(default_factory=Headers)
+    issued_at: Seconds = 0.0
+
+    @property
+    def if_modified_since(self) -> Optional[Seconds]:
+        """Parsed ``If-Modified-Since`` timestamp, if present."""
+        raw = self.headers.get(h.IF_MODIFIED_SINCE)
+        return h.parse_time(raw) if raw is not None else None
+
+    @property
+    def wants_history(self) -> bool:
+        """True if the request asks for the modification-history extension."""
+        return self.headers.get(h.WANT_HISTORY, "").lower() in ("1", "true", "yes")
+
+    @property
+    def consistency_delta(self) -> Optional[float]:
+        """The Δ tolerance declared by the requester (Section 5.1)."""
+        raw = self.headers.get(h.CONSISTENCY_DELTA)
+        return float(raw) if raw is not None else None
+
+    @property
+    def mutual_consistency_delta(self) -> Optional[float]:
+        """The δ tolerance declared by the requester (Section 5.1)."""
+        raw = self.headers.get(h.MUTUAL_CONSISTENCY_DELTA)
+        return float(raw) if raw is not None else None
+
+
+@dataclass
+class Response:
+    """A simulated HTTP response."""
+
+    status: Status
+    object_id: ObjectId
+    headers: Headers = field(default_factory=Headers)
+    served_at: Seconds = 0.0
+
+    @property
+    def last_modified(self) -> Optional[Seconds]:
+        raw = self.headers.get(h.LAST_MODIFIED)
+        return h.parse_time(raw) if raw is not None else None
+
+    @property
+    def version(self) -> Optional[int]:
+        raw = self.headers.get(h.VERSION)
+        return int(raw) if raw is not None else None
+
+    @property
+    def value(self) -> Optional[float]:
+        raw = self.headers.get(h.VALUE)
+        return float(raw) if raw is not None else None
+
+    @property
+    def modification_history(self) -> Optional[List[Seconds]]:
+        """Parsed history extension header, or None if absent."""
+        raw = self.headers.get(h.MODIFICATION_HISTORY)
+        if raw is None:
+            return None
+        return h.parse_history(raw)
+
+    def require_ok_or_not_modified(self) -> "Response":
+        """Assert the response is 200 or 304 (the poll-path statuses)."""
+        if self.status not in (Status.OK, Status.NOT_MODIFIED):
+            raise ProtocolError(
+                f"poll of {self.object_id!r} returned unexpected status "
+                f"{int(self.status)}"
+            )
+        return self
+
+
+def conditional_get(
+    object_id: ObjectId,
+    *,
+    if_modified_since: Optional[Seconds] = None,
+    want_history: bool = False,
+    consistency_delta: Optional[float] = None,
+    mutual_consistency_delta: Optional[float] = None,
+    issued_at: Seconds = 0.0,
+) -> Request:
+    """Build an ``If-Modified-Since`` GET as a proxy poll would issue."""
+    hdrs = Headers()
+    if if_modified_since is not None:
+        hdrs.set(h.IF_MODIFIED_SINCE, h.format_time(if_modified_since))
+    if want_history:
+        hdrs.set(h.WANT_HISTORY, "1")
+    if consistency_delta is not None:
+        hdrs.set(h.CONSISTENCY_DELTA, repr(consistency_delta))
+    if mutual_consistency_delta is not None:
+        hdrs.set(h.MUTUAL_CONSISTENCY_DELTA, repr(mutual_consistency_delta))
+    return Request(
+        method=Method.GET,
+        object_id=object_id,
+        headers=hdrs,
+        issued_at=issued_at,
+    )

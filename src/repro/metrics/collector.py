@@ -1,0 +1,183 @@
+"""Convenience bridge between simulation state and fidelity metrics.
+
+After a run, an experiment holds a :class:`~repro.proxy.proxy.ProxyCache`
+(with per-entry fetch logs) and the ground-truth traces.  The collector
+extracts poll schedules from the fetch logs and invokes the metric
+functions, producing the rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.types import ObjectId, Seconds
+from repro.metrics.fidelity import (
+    FidelityReport,
+    temporal_fidelity,
+    value_fidelity,
+)
+from repro.metrics.mutual import (
+    mutual_poll_synchrony_fidelity,
+    mutual_temporal_fidelity,
+    mutual_value_fidelity,
+)
+from repro.proxy.proxy import ProxyCache
+from repro.traces.model import UpdateTrace
+
+
+def poll_times_of(proxy: ProxyCache, object_id: ObjectId) -> List[Seconds]:
+    """The times of all completed polls of an object."""
+    entry = proxy.entry_for(object_id)
+    return [record.time for record in entry.fetch_log]
+
+
+def temporal_fetches_of(
+    proxy: ProxyCache, object_id: ObjectId
+) -> List[Tuple[Seconds, Seconds]]:
+    """(poll time, obtained Last-Modified) pairs for an object."""
+    entry = proxy.entry_for(object_id)
+    return [
+        (record.time, record.snapshot.last_modified)
+        for record in entry.fetch_log
+    ]
+
+
+def synchrony_fetches_of(
+    proxy: ProxyCache, object_id: ObjectId
+) -> List[Tuple[Seconds, bool]]:
+    """(poll time, modified?) pairs for poll-synchrony evaluation."""
+    entry = proxy.entry_for(object_id)
+    return [(record.time, record.modified) for record in entry.fetch_log]
+
+
+def value_fetches_of(
+    proxy: ProxyCache, object_id: ObjectId
+) -> List[Tuple[Seconds, float]]:
+    """(poll time, obtained value) pairs for a valued object."""
+    entry = proxy.entry_for(object_id)
+    fetches: List[Tuple[Seconds, float]] = []
+    for record in entry.fetch_log:
+        if record.snapshot.value is not None:
+            fetches.append((record.time, record.snapshot.value))
+    return fetches
+
+
+@dataclass(frozen=True)
+class ObjectReport:
+    """Per-object evaluation: poll count plus a fidelity report."""
+
+    object_id: ObjectId
+    report: FidelityReport
+
+    @property
+    def polls(self) -> int:
+        return self.report.polls
+
+
+def collect_temporal(
+    proxy: ProxyCache,
+    trace: UpdateTrace,
+    delta: Seconds,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> ObjectReport:
+    """Δt-consistency report for one object after a run."""
+    polls = poll_times_of(proxy, trace.object_id)
+    report = temporal_fidelity(trace, polls, delta, start=start, end=end)
+    return ObjectReport(object_id=trace.object_id, report=report)
+
+
+def collect_value(
+    proxy: ProxyCache,
+    trace: UpdateTrace,
+    delta: float,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> ObjectReport:
+    """Δv-consistency report for one valued object after a run."""
+    fetches = value_fetches_of(proxy, trace.object_id)
+    report = value_fidelity(trace, fetches, delta, start=start, end=end)
+    return ObjectReport(object_id=trace.object_id, report=report)
+
+
+@dataclass(frozen=True)
+class PairReport:
+    """Mutual-consistency evaluation for an object pair."""
+
+    pair: Tuple[ObjectId, ObjectId]
+    report: FidelityReport
+    polls_a: int
+    polls_b: int
+
+    @property
+    def total_polls(self) -> int:
+        return self.polls_a + self.polls_b
+
+
+def collect_mutual_temporal(
+    proxy: ProxyCache,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: Seconds,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> PairReport:
+    """Mt report for a pair after a run."""
+    fetches_a = temporal_fetches_of(proxy, trace_a.object_id)
+    fetches_b = temporal_fetches_of(proxy, trace_b.object_id)
+    report = mutual_temporal_fidelity(
+        trace_a, trace_b, fetches_a, fetches_b, delta, start=start, end=end
+    )
+    return PairReport(
+        pair=(trace_a.object_id, trace_b.object_id),
+        report=report,
+        polls_a=len(fetches_a),
+        polls_b=len(fetches_b),
+    )
+
+
+def collect_mutual_synchrony(
+    proxy: ProxyCache,
+    object_a: ObjectId,
+    object_b: ObjectId,
+    delta: Seconds,
+) -> PairReport:
+    """Operational (poll-synchrony) Mt report for a pair after a run."""
+    fetches_a = synchrony_fetches_of(proxy, object_a)
+    fetches_b = synchrony_fetches_of(proxy, object_b)
+    report = mutual_poll_synchrony_fidelity(fetches_a, fetches_b, delta)
+    return PairReport(
+        pair=(object_a, object_b),
+        report=report,
+        polls_a=len(fetches_a),
+        polls_b=len(fetches_b),
+    )
+
+
+def collect_mutual_value(
+    proxy: ProxyCache,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: float,
+    *,
+    f: Callable[[float, float], float] = lambda x, y: x - y,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> PairReport:
+    """Mv report for a valued pair after a run."""
+    fetches_a = value_fetches_of(proxy, trace_a.object_id)
+    fetches_b = value_fetches_of(proxy, trace_b.object_id)
+    report = mutual_value_fidelity(
+        trace_a, trace_b, fetches_a, fetches_b, delta,
+        f=f, start=start, end=end,
+    )
+    return PairReport(
+        pair=(trace_a.object_id, trace_b.object_id),
+        report=report,
+        polls_a=len(fetches_a),
+        polls_b=len(fetches_b),
+    )

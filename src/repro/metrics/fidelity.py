@@ -1,0 +1,293 @@
+"""Ground-truth fidelity metrics for *individual* consistency.
+
+The paper evaluates mechanisms by (i) number of polls and (ii) fidelity,
+measured two ways::
+
+    f = 1 − violations / polls                (Eq. 13)
+    f = 1 − out-of-sync time / trace duration (Eq. 14)
+
+These computations are **omniscient**: they use the full update trace
+(ground truth), not what the proxy managed to observe — a mechanism must
+not get credit for violations it failed to detect.
+
+Temporal-domain semantics (Eq. 2, Figure 1): after a poll at ``p`` the
+proxy's copy equals the server state at ``p``; the copy stays
+Δt-consistent until Δ after the *first* subsequent server update.  A
+poll at ``q`` therefore reveals a violation iff the first update in
+``(p, q]`` is more than Δ old at ``q``.
+
+Value-domain semantics (Eq. 3): the copy is consistent at time t iff
+``|S(t) − cached value| < Δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.types import Seconds
+from repro.traces.model import UpdateTrace
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Poll count, violation count, and both fidelity measures."""
+
+    polls: int
+    violations: int
+    out_sync_time: Seconds
+    duration: Seconds
+
+    @property
+    def fidelity_by_violations(self) -> float:
+        """Eq. 13.  Defined as 1.0 when there were no polls."""
+        if self.polls == 0:
+            return 1.0
+        return 1.0 - self.violations / self.polls
+
+    @property
+    def fidelity_by_time(self) -> float:
+        """Eq. 14.  Defined as 1.0 for a zero-length window."""
+        if self.duration <= 0:
+            return 1.0
+        return 1.0 - self.out_sync_time / self.duration
+
+
+# ----------------------------------------------------------------------
+# Temporal domain
+# ----------------------------------------------------------------------
+def temporal_fidelity(
+    trace: UpdateTrace,
+    poll_times: Sequence[Seconds],
+    delta: Seconds,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> FidelityReport:
+    """Evaluate Δt-consistency of a polling schedule against ground truth.
+
+    Args:
+        trace: The object's true update history.
+        poll_times: When the proxy refreshed the object (ascending).
+            The first entry is normally the initial fetch.
+        delta: The Δ bound, in seconds.
+        start, end: Evaluation window (defaults to the trace window).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    window_start = start if start is not None else trace.start_time
+    window_end = end if end is not None else trace.end_time
+    polls = sorted(poll_times)
+    _require_ascending(polls)
+
+    violations = 0
+    for prev, curr in zip(polls, polls[1:]):
+        first = trace.next_after(prev)
+        if first is not None and first.time <= curr:
+            if curr - first.time > delta:
+                violations += 1
+
+    out_sync = _temporal_out_sync_time(
+        trace, polls, delta, window_start, window_end
+    )
+    return FidelityReport(
+        polls=len(polls),
+        violations=violations,
+        out_sync_time=out_sync,
+        duration=window_end - window_start,
+    )
+
+
+def temporal_fidelity_from_snapshots(
+    trace: UpdateTrace,
+    fetch_log: Sequence,
+    delta: Seconds,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> FidelityReport:
+    """Evaluate Δt-consistency from the snapshots a cache actually held.
+
+    :func:`temporal_fidelity` assumes every poll refreshes the copy to
+    the origin-current version — true for a proxy polling the origin,
+    but *not* for an edge proxy polling a parent cache, whose responses
+    can themselves be stale.  This variant instead walks the cache's
+    fetch log: between fetches the copy corresponds to the server state
+    of its ``last_modified`` instant, and the Δ bound is violated from
+    ``delta`` after the first origin update newer than that instant.
+
+    Args:
+        trace: The object's true (origin) update history.
+        fetch_log: :class:`~repro.proxy.entry.FetchRecord` sequence from
+            the cache entry under evaluation.
+        delta: The Δ bound, in seconds.
+        start, end: Evaluation window (defaults to the trace window).
+
+    Returns:
+        A report whose ``violations`` counts stale *segments* (fetch
+        intervals that spent time out of sync) rather than Eq. 13 poll
+        violations; the time-based fidelity (Eq. 14) is the headline
+        measure for hierarchical setups.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    window_start = start if start is not None else trace.start_time
+    window_end = end if end is not None else trace.end_time
+    records = list(fetch_log)
+    out_sync = 0.0
+    stale_segments = 0
+    for index, record in enumerate(records):
+        segment_start = max(record.time, window_start)
+        segment_end = (
+            records[index + 1].time if index + 1 < len(records) else window_end
+        )
+        segment_end = min(segment_end, window_end)
+        if segment_end <= segment_start:
+            continue
+        unseen = trace.next_after(record.snapshot.last_modified)
+        if unseen is None:
+            continue
+        stale_from = max(segment_start, unseen.time + delta)
+        if stale_from < segment_end:
+            out_sync += segment_end - stale_from
+            stale_segments += 1
+    return FidelityReport(
+        polls=len(records),
+        violations=stale_segments,
+        out_sync_time=out_sync,
+        duration=window_end - window_start,
+    )
+
+
+def _temporal_out_sync_time(
+    trace: UpdateTrace,
+    polls: List[Seconds],
+    delta: Seconds,
+    window_start: Seconds,
+    window_end: Seconds,
+) -> Seconds:
+    """Integrate the time during which the Δt bound does not hold."""
+    if not polls:
+        # Never fetched: out of sync from Δ after the first update.
+        first = trace.next_after(window_start)
+        if first is None:
+            return 0.0
+        return max(0.0, window_end - (first.time + delta))
+
+    out_sync = 0.0
+    # Before the first poll the proxy holds nothing; the paper's runs
+    # start with an initial fetch, so we charge nothing before polls[0].
+    boundaries = list(polls) + [window_end]
+    for index in range(len(polls)):
+        segment_start = boundaries[index]
+        segment_end = boundaries[index + 1]
+        if segment_end <= segment_start:
+            continue
+        first = trace.next_after(segment_start)
+        if first is None:
+            continue
+        stale_from = first.time + delta
+        lo = max(segment_start, stale_from, window_start)
+        hi = min(segment_end, window_end)
+        if hi > lo:
+            out_sync += hi - lo
+    return out_sync
+
+
+# ----------------------------------------------------------------------
+# Value domain
+# ----------------------------------------------------------------------
+def value_fidelity(
+    trace: UpdateTrace,
+    fetches: Sequence[Tuple[Seconds, float]],
+    delta: float,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> FidelityReport:
+    """Evaluate Δv-consistency of a fetch schedule against ground truth.
+
+    Args:
+        trace: The object's true tick history (valued records).
+        fetches: (poll_time, value obtained) pairs, ascending in time.
+        delta: The Δ value bound.
+        start, end: Evaluation window (defaults to the trace window).
+
+    A poll counts as a violation (Eq. 13) if the bound was broken at any
+    instant since the previous poll.  Out-of-sync time (Eq. 14)
+    integrates the periods with ``|S(t) − cached| ≥ Δ``.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    if not trace.has_values:
+        raise ValueError("value_fidelity requires a value-domain trace")
+    window_start = start if start is not None else trace.start_time
+    window_end = end if end is not None else trace.end_time
+    times = [t for t, _ in fetches]
+    _require_ascending(times)
+
+    violations = 0
+    out_sync = 0.0
+    for index, (poll_time, cached_value) in enumerate(fetches):
+        segment_end = (
+            fetches[index + 1][0] if index + 1 < len(fetches) else window_end
+        )
+        if segment_end <= poll_time:
+            continue
+        violated, stale = _value_segment_stats(
+            trace, poll_time, segment_end, cached_value, delta,
+            window_start, window_end,
+        )
+        # Attribute the violation to the poll that *ended* the segment,
+        # mirroring Eq. 13's "violations per poll" accounting.  The
+        # final open segment has no closing poll; its staleness still
+        # counts toward out-of-sync time.
+        if violated and index + 1 < len(fetches):
+            violations += 1
+        out_sync += stale
+    return FidelityReport(
+        polls=len(fetches),
+        violations=violations,
+        out_sync_time=out_sync,
+        duration=window_end - window_start,
+    )
+
+
+def _value_segment_stats(
+    trace: UpdateTrace,
+    segment_start: Seconds,
+    segment_end: Seconds,
+    cached_value: float,
+    delta: float,
+    window_start: Seconds,
+    window_end: Seconds,
+) -> Tuple[bool, Seconds]:
+    """(was the bound broken, stale seconds) for one inter-poll segment."""
+    violated = False
+    stale = 0.0
+    current = trace.latest_at(segment_start)
+    current_value = current.value if current is not None else None
+    t = segment_start
+    updates = trace.updates_in(segment_start, segment_end)
+    knots: List[Tuple[Seconds, Optional[float]]] = [
+        (t, current_value)
+    ] + [(u.time, u.value) for u in updates]
+    knots.append((segment_end, None))  # terminator; value unused
+    for (knot_time, knot_value), (next_time, _next_value) in zip(
+        knots, knots[1:]
+    ):
+        if knot_value is not None:
+            gap = abs(knot_value - cached_value)
+            if gap >= delta:
+                violated = True
+                lo = max(knot_time, window_start)
+                hi = min(next_time, window_end)
+                if hi > lo:
+                    stale += hi - lo
+    return violated, stale
+
+
+def _require_ascending(times: Sequence[Seconds]) -> None:
+    for earlier, later in zip(times, times[1:]):
+        if later < earlier:
+            raise ValueError("poll times must be ascending")

@@ -1,0 +1,124 @@
+"""Mutual-consistency metrics generalised to n-object groups.
+
+The paper defines Mt/Mv for pairs "for simplicity, but all our
+definitions can be generalized to n objects".  The natural
+generalisation of Eq. 4: a group's cached copies are Mt-consistent at
+time t iff there exist server instants t₁...tₙ, one per member's cached
+version's validity interval, that all fit inside a window of width δ.
+For intervals this reduces to::
+
+    max_i(start_i) − min_i(end_i) ≤ δ
+
+i.e. the *spread* between the latest validity start and the earliest
+validity end is at most δ (pairs recover Eq. 4's interval gap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import ObjectId, Seconds
+from repro.metrics.fidelity import FidelityReport
+from repro.metrics.mutual import TemporalFetch, validity_interval
+from repro.traces.model import UpdateTrace
+
+
+def group_interval_spread(
+    intervals: Sequence[Tuple[Seconds, Seconds]],
+) -> Seconds:
+    """The group generalisation of the pairwise interval gap.
+
+    Returns 0 when one instant can be picked inside every interval
+    (common overlap); otherwise the minimal window width minus zero —
+    concretely ``max(starts) − min(ends)`` clamped at 0.
+    """
+    if not intervals:
+        raise ValueError("need at least one interval")
+    latest_start = max(start for start, _ in intervals)
+    earliest_end = min(end for _, end in intervals)
+    return max(0.0, latest_start - earliest_end)
+
+
+def group_mutually_consistent_at(
+    traces: Dict[ObjectId, UpdateTrace],
+    origins: Dict[ObjectId, Seconds],
+    delta: Seconds,
+) -> bool:
+    """Eq. 4 generalised: do the cached versions' validity intervals fit
+    within a window of width δ?"""
+    intervals = [
+        validity_interval(traces[object_id], origin)
+        for object_id, origin in origins.items()
+    ]
+    return group_interval_spread(intervals) <= delta
+
+
+def group_temporal_fidelity(
+    traces: Dict[ObjectId, UpdateTrace],
+    fetches: Dict[ObjectId, Sequence[TemporalFetch]],
+    delta: Seconds,
+    *,
+    start: Optional[Seconds] = None,
+    end: Optional[Seconds] = None,
+) -> FidelityReport:
+    """Ground-truth Mt fidelity for an n-object group.
+
+    The group condition is evaluated after every poll of any member
+    (same-instant polls grouped, as in the pairwise metric), and the
+    out-of-sync time integrates the periods where the condition fails.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if set(traces) != set(fetches):
+        raise ValueError("traces and fetches must cover the same objects")
+    if len(traces) < 2:
+        raise ValueError("a group needs at least two members")
+
+    window_start = (
+        start
+        if start is not None
+        else min(t.start_time for t in traces.values())
+    )
+    window_end = (
+        end if end is not None else max(t.end_time for t in traces.values())
+    )
+
+    events: List[Tuple[Seconds, ObjectId, Seconds]] = []
+    for object_id, object_fetches in fetches.items():
+        events.extend((t, object_id, lm) for t, lm in object_fetches)
+    events.sort(key=lambda e: e[0])
+
+    polls = len(events)
+    violations = 0
+    out_sync = 0.0
+    origins: Dict[ObjectId, Seconds] = {}
+
+    index = 0
+    total = len(events)
+    while index < total:
+        time = events[index][0]
+        group_end = index
+        while group_end < total and events[group_end][0] == time:
+            _, object_id, last_modified = events[group_end]
+            origins[object_id] = last_modified
+            group_end += 1
+        group_size = group_end - index
+        segment_end = events[group_end][0] if group_end < total else window_end
+        index = group_end
+        if len(origins) < len(traces):
+            continue  # some member never fetched yet
+        consistent = group_mutually_consistent_at(traces, origins, delta)
+        if not consistent:
+            violations += group_size
+            if segment_end > time:
+                lo = max(time, window_start)
+                hi = min(segment_end, window_end)
+                if hi > lo:
+                    out_sync += hi - lo
+
+    return FidelityReport(
+        polls=polls,
+        violations=violations,
+        out_sync_time=out_sync,
+        duration=window_end - window_start,
+    )

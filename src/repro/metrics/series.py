@@ -1,0 +1,173 @@
+"""Time-series extraction for the paper's time-series figures.
+
+* Figure 4(a): updates per 2-hour bin — :func:`update_frequency_series`.
+* Figure 4(b): TTR over time — :func:`ttr_series`.
+* Figure 6(a): ratio of two objects' update frequencies —
+  :func:`update_ratio_series`.
+* Figure 6(b): triggered ("extra") polls per bin —
+  :func:`extra_polls_series`.
+* Figure 8: f at proxy and server over time —
+  :func:`f_value_series` / :func:`server_f_knots`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.timeseries import (
+    Series,
+    bin_count,
+    ratio_series,
+    sample_step_function,
+)
+from repro.consistency.mutual_temporal import TriggerDecision
+from repro.core.events import PollEvent
+from repro.core.types import ObjectId, Seconds
+from repro.proxy.proxy import ProxyCache
+from repro.traces.model import UpdateTrace
+
+
+def update_frequency_series(
+    trace: UpdateTrace,
+    bin_width: Seconds,
+    *,
+    label: Optional[str] = None,
+) -> Series:
+    """Updates per bin over the trace window (Figure 4(a))."""
+    return bin_count(
+        [r.time for r in trace.records],
+        start=trace.start_time,
+        end=trace.end_time,
+        bin_width=bin_width,
+        label=label or f"updates({trace.metadata.name})",
+    )
+
+
+def ttr_series(
+    ttr_knots: Sequence[Tuple[Seconds, Seconds]],
+    *,
+    start: Seconds,
+    end: Seconds,
+    bin_width: Seconds,
+    initial: float = float("nan"),
+    label: str = "ttr",
+) -> Series:
+    """Sample a TTR step function at bin centers (Figure 4(b)).
+
+    ``ttr_knots`` are (time, new TTR) change points, e.g. harvested from
+    :class:`~repro.core.events.PollEvent.ttr_after` in the event log.
+    """
+    return sample_step_function(
+        list(ttr_knots),
+        start=start,
+        end=end,
+        bin_width=bin_width,
+        initial=initial,
+        label=label,
+    )
+
+
+def ttr_knots_from_proxy_events(
+    events: Sequence[PollEvent], object_id: ObjectId
+) -> List[Tuple[Seconds, Seconds]]:
+    """(time, TTR after poll) knots for one object from poll events."""
+    knots: List[Tuple[Seconds, Seconds]] = []
+    for event in events:
+        if event.object_id != object_id or event.ttr_after is None:
+            continue
+        knots.append((event.time, event.ttr_after))
+    return knots
+
+
+def update_ratio_series(
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    bin_width: Seconds,
+    *,
+    label: str = "rate-ratio",
+) -> Series:
+    """Ratio of the two objects' update frequencies per bin (Fig. 6(a)).
+
+    NaN where the denominator bin is empty.
+    """
+    start = min(trace_a.start_time, trace_b.start_time)
+    end = max(trace_a.end_time, trace_b.end_time)
+    series_a = bin_count(
+        [r.time for r in trace_a.records],
+        start=start, end=end, bin_width=bin_width, label="a",
+    )
+    series_b = bin_count(
+        [r.time for r in trace_b.records],
+        start=start, end=end, bin_width=bin_width, label="b",
+    )
+    return ratio_series(series_a, series_b, label=label)
+
+
+def extra_polls_series(
+    decisions: Sequence[TriggerDecision],
+    *,
+    start: Seconds,
+    end: Seconds,
+    bin_width: Seconds,
+    label: str = "extra-polls",
+) -> Series:
+    """Triggered polls per bin (Figure 6(b))."""
+    times = [d.time for d in decisions if d.triggered]
+    return bin_count(
+        times, start=start, end=end, bin_width=bin_width, label=label
+    )
+
+
+def server_f_knots(
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    f: Callable[[float, float], float],
+) -> List[Tuple[Seconds, float]]:
+    """(time, f at server) step knots — Figure 8's server series."""
+    events: List[Seconds] = [r.time for r in trace_a.records]
+    events.extend(r.time for r in trace_b.records)
+    knots: List[Tuple[Seconds, float]] = []
+    for time in sorted(set(events)):
+        state_a = trace_a.latest_at(time)
+        state_b = trace_b.latest_at(time)
+        if state_a is None or state_b is None:
+            continue
+        if state_a.value is None or state_b.value is None:
+            continue
+        value = f(state_a.value, state_b.value)
+        if not knots or knots[-1][1] != value:
+            knots.append((time, value))
+    return knots
+
+
+def f_value_series(
+    knots: Sequence[Tuple[Seconds, float]],
+    *,
+    start: Seconds,
+    end: Seconds,
+    bin_width: Seconds,
+    label: str,
+) -> Series:
+    """Sample an f step function for plotting (Figure 8)."""
+    return sample_step_function(
+        list(knots), start=start, end=end, bin_width=bin_width, label=label
+    )
+
+
+def polls_per_bin(
+    proxy: ProxyCache,
+    object_id: ObjectId,
+    *,
+    start: Seconds,
+    end: Seconds,
+    bin_width: Seconds,
+) -> Series:
+    """Poll counts per bin for one object (diagnostics)."""
+    entry = proxy.entry_for(object_id)
+    return bin_count(
+        [record.time for record in entry.fetch_log],
+        start=start,
+        end=end,
+        bin_width=bin_width,
+        label=f"polls({object_id})",
+    )

@@ -1,0 +1,21 @@
+"""The proxy cache: storage, refresh scheduling, client request path."""
+
+from repro.proxy.cache import EvictionPolicy, ObjectCache
+from repro.proxy.client import Client, ClientRequestRecord
+from repro.proxy.entry import CacheEntry, FetchRecord
+from repro.proxy.hierarchy import LevelPolicyFactory, ProxyChain
+from repro.proxy.proxy import ProxyCache
+from repro.proxy.refresher import Refresher
+
+__all__ = [
+    "EvictionPolicy",
+    "ObjectCache",
+    "Client",
+    "ClientRequestRecord",
+    "CacheEntry",
+    "FetchRecord",
+    "LevelPolicyFactory",
+    "ProxyChain",
+    "ProxyCache",
+    "Refresher",
+]

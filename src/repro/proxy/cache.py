@@ -1,0 +1,137 @@
+"""Object cache storage with optional capacity bounds.
+
+The paper's experiments "assume that the proxy employs an infinitely
+large cache" (Section 6.1.1); :class:`ObjectCache` defaults to that.
+Bounded modes with LRU/LFU eviction are provided for completeness —
+a proxy a downstream user deploys will want them — and are exercised by
+the workload examples and tests, never by the paper-reproduction
+benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+from repro.proxy.entry import CacheEntry
+
+
+class EvictionPolicy(enum.Enum):
+    """How a bounded cache chooses a victim."""
+
+    LRU = "lru"
+    LFU = "lfu"
+
+
+class ObjectCache:
+    """A mapping of object id → :class:`CacheEntry` with eviction.
+
+    Args:
+        capacity: Maximum number of entries, or ``None`` for unbounded
+            (the paper's configuration).
+        eviction: Victim-selection policy for bounded caches.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        eviction: EvictionPolicy = EvictionPolicy.LRU,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise CacheConfigurationError(
+                f"capacity must be positive or None, got {capacity}"
+            )
+        self._capacity = capacity
+        self._eviction = eviction
+        # OrderedDict recency order: oldest first (LRU order).
+        self._entries: "OrderedDict[ObjectId, CacheEntry]" = OrderedDict()
+        self._access_counts: Dict[ObjectId, int] = {}
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def eviction_policy(self) -> EvictionPolicy:
+        return self._eviction
+
+    @property
+    def eviction_count(self) -> int:
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._entries
+
+    def __iter__(self) -> Iterator[ObjectId]:
+        return iter(self._entries)
+
+    def get(self, object_id: ObjectId, *, touch: bool = True) -> Optional[CacheEntry]:
+        """Look up an entry; ``touch`` marks it recently/frequently used."""
+        entry = self._entries.get(object_id)
+        if entry is None:
+            return None
+        if touch:
+            self._entries.move_to_end(object_id)
+            self._access_counts[object_id] = self._access_counts.get(object_id, 0) + 1
+        return entry
+
+    def put(self, entry: CacheEntry) -> Optional[CacheEntry]:
+        """Insert an entry, evicting if over capacity.
+
+        Returns:
+            The evicted entry, if any.
+        """
+        object_id = entry.object_id
+        if object_id in self._entries:
+            self._entries[object_id] = entry
+            self._entries.move_to_end(object_id)
+            return None
+        evicted: Optional[CacheEntry] = None
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            evicted = self._evict_one()
+        self._entries[object_id] = entry
+        self._access_counts.setdefault(object_id, 0)
+        return evicted
+
+    def get_or_create(self, object_id: ObjectId) -> CacheEntry:
+        """Return the entry for ``object_id``, creating it if absent."""
+        entry = self.get(object_id)
+        if entry is None:
+            entry = CacheEntry(object_id)
+            self.put(entry)
+        return entry
+
+    def remove(self, object_id: ObjectId) -> Optional[CacheEntry]:
+        """Remove and return an entry (None if absent)."""
+        self._access_counts.pop(object_id, None)
+        return self._entries.pop(object_id, None)
+
+    def _evict_one(self) -> CacheEntry:
+        if self._eviction is EvictionPolicy.LRU:
+            victim_id, victim = self._entries.popitem(last=False)
+        else:  # LFU, ties broken by recency (evict the least recent)
+            victim_id = min(
+                self._entries,
+                key=lambda oid: (
+                    self._access_counts.get(oid, 0),
+                    list(self._entries).index(oid),
+                ),
+            )
+            victim = self._entries.pop(victim_id)
+        self._access_counts.pop(victim_id, None)
+        self._evictions += 1
+        return victim
+
+    def __repr__(self) -> str:
+        cap = "inf" if self._capacity is None else str(self._capacity)
+        return (
+            f"ObjectCache(size={len(self._entries)}, capacity={cap}, "
+            f"evictions={self._evictions})"
+        )

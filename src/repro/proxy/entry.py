@@ -1,0 +1,129 @@
+"""Per-object cache bookkeeping at the proxy.
+
+A :class:`CacheEntry` holds the cached snapshot plus the poll/fetch
+history the metrics layer needs to reconstruct, after the run, what the
+proxy believed at every instant (the basis for fidelity computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.events import PollReason
+from repro.core.types import ObjectId, ObjectSnapshot, Seconds
+
+
+@dataclass(frozen=True)
+class FetchRecord:
+    """One completed poll/fetch of an object, as the proxy saw it.
+
+    Attributes:
+        time: When the response was processed at the proxy.
+        snapshot: The object state held in cache after this fetch.
+        modified: Whether the server returned a new version (200) rather
+            than a 304.
+        reason: Why the poll was issued.
+    """
+
+    time: Seconds
+    snapshot: ObjectSnapshot
+    modified: bool
+    reason: PollReason
+
+
+class CacheEntry:
+    """The proxy's cached state for one object."""
+
+    def __init__(self, object_id: ObjectId) -> None:
+        self._object_id = object_id
+        self._snapshot: Optional[ObjectSnapshot] = None
+        self._fetch_log: List[FetchRecord] = []
+        self._hits = 0
+
+    @property
+    def object_id(self) -> ObjectId:
+        return self._object_id
+
+    @property
+    def snapshot(self) -> Optional[ObjectSnapshot]:
+        """The currently cached object state (None before first fetch)."""
+        return self._snapshot
+
+    @property
+    def populated(self) -> bool:
+        return self._snapshot is not None
+
+    @property
+    def fetch_log(self) -> Sequence[FetchRecord]:
+        return tuple(self._fetch_log)
+
+    @property
+    def poll_count(self) -> int:
+        """Total polls recorded for this entry."""
+        return len(self._fetch_log)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def last_poll_time(self) -> Optional[Seconds]:
+        if not self._fetch_log:
+            return None
+        return self._fetch_log[-1].time
+
+    @property
+    def cached_version_origin(self) -> Optional[Seconds]:
+        """When the cached version was created at the server
+        (its Last-Modified) — the t₁/t₂ of the paper's Eq. 4."""
+        if self._snapshot is None:
+            return None
+        return self._snapshot.last_modified
+
+    def known_modification_times(self) -> List[Seconds]:
+        """Distinct server modification times this proxy has observed.
+
+        A proxy serving as an upstream in a hierarchy uses these to
+        populate the Section 5.1 history header for its children.  Note
+        the list only contains versions this proxy *fetched* — updates
+        that fell between its polls are invisible, exactly the
+        degradation a real cache hierarchy exhibits.
+        """
+        seen: List[Seconds] = []
+        for record in self._fetch_log:
+            when = record.snapshot.last_modified
+            if not seen or when > seen[-1]:
+                seen.append(when)
+        return seen
+
+    def record_fetch(
+        self,
+        time: Seconds,
+        snapshot: ObjectSnapshot,
+        *,
+        modified: bool,
+        reason: PollReason,
+    ) -> FetchRecord:
+        """Record a completed poll and update the cached snapshot."""
+        if self._fetch_log and time < self._fetch_log[-1].time:
+            raise ValueError(
+                f"fetch at t={time} precedes previous fetch at "
+                f"t={self._fetch_log[-1].time} for {self._object_id!r}"
+            )
+        record = FetchRecord(
+            time=time, snapshot=snapshot, modified=modified, reason=reason
+        )
+        self._fetch_log.append(record)
+        self._snapshot = snapshot
+        return record
+
+    def record_hit(self) -> None:
+        self._hits += 1
+
+    def __repr__(self) -> str:
+        version = self._snapshot.version if self._snapshot else None
+        return (
+            f"CacheEntry({self._object_id!r}, version={version}, "
+            f"polls={len(self._fetch_log)}, hits={self._hits})"
+        )

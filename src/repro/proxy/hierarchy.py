@@ -1,0 +1,147 @@
+"""Hierarchical proxy caching: chains of proxies between client and origin.
+
+The paper's related work (Yin et al. [10], Yu et al. [11]) studies cache
+consistency in proxy *hierarchies*; this module composes the
+reproduction's building blocks into such a hierarchy.  Because
+:class:`~repro.proxy.proxy.ProxyCache` answers conditional GETs
+(:meth:`~repro.proxy.proxy.ProxyCache.handle_request`), a child proxy
+can poll its parent exactly as it would poll an origin — each level runs
+its own consistency policy against the level above.
+
+**Staleness composes additively.**  If level i guarantees its copy is at
+most Δᵢ behind its upstream, a chain of n levels guarantees the edge
+copy is at most ``Σ Δᵢ`` behind the origin.  The benefit is load
+concentration: the origin sees only the root proxy's polls, however many
+children (and clients) hang off the tree — the trade-off quantified by
+``benchmarks/bench_extension_hierarchy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.consistency.base import RefreshPolicy
+from repro.core.types import ObjectId
+from repro.httpsim.network import LatencyModel, Network
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.sim.kernel import Kernel
+
+#: Builds the refresh policy for one (level, object) pair.  Level 0 is
+#: the root (polls the origin); higher levels poll the level below.
+LevelPolicyFactory = Callable[[int, ObjectId], RefreshPolicy]
+
+
+class ProxyChain:
+    """A linear hierarchy of proxies: root polls origin, children chain.
+
+    Args:
+        kernel: Shared simulation kernel.
+        origin: The origin server at the top of the chain.
+        depth: Number of proxy levels (>= 1).
+        latency: Per-link latency model (the same model is used on every
+            link; the paper fixes latency and so do we).
+
+    Example:
+        >>> from repro.consistency.base import FixedTTRPolicy
+        >>> kernel = Kernel()
+        >>> origin = OriginServer()
+        >>> _ = origin.create_object(ObjectId("x"), created_at=0.0)
+        >>> chain = ProxyChain(kernel, origin, depth=2)
+        >>> _ = chain.register_object(
+        ...     ObjectId("x"), lambda level, oid: FixedTTRPolicy(ttr=60.0)
+        ... )
+        >>> chain.edge.entry_for(ObjectId("x")).populated
+        True
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        origin: OriginServer,
+        depth: int,
+        *,
+        latency: LatencyModel = LatencyModel(),
+        want_history: bool = True,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._kernel = kernel
+        self._origin = origin
+        self._proxies: List[ProxyCache] = [
+            ProxyCache(
+                kernel,
+                Network(kernel, latency),
+                want_history=want_history,
+                name=f"proxy-L{level}",
+            )
+            for level in range(depth)
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._proxies)
+
+    @property
+    def proxies(self) -> Sequence[ProxyCache]:
+        """All levels, root (index 0) to edge (index depth-1)."""
+        return tuple(self._proxies)
+
+    @property
+    def root(self) -> ProxyCache:
+        """The proxy that polls the origin directly."""
+        return self._proxies[0]
+
+    @property
+    def edge(self) -> ProxyCache:
+        """The proxy clients talk to (deepest level)."""
+        return self._proxies[-1]
+
+    def upstream_of(self, level: int):
+        """The request target level ``level`` polls."""
+        return self._origin if level == 0 else self._proxies[level - 1]
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        object_id: ObjectId,
+        policy_factory: LevelPolicyFactory,
+    ) -> Dict[int, RefreshPolicy]:
+        """Register an object at every level, root first.
+
+        Root-first ordering matters: each level's initial fetch must
+        find its upstream already populated (with the synchronous
+        zero-latency network the fetch completes inline).
+
+        Returns:
+            The policy instance installed at each level.
+        """
+        policies: Dict[int, RefreshPolicy] = {}
+        for level, proxy in enumerate(self._proxies):
+            policy = policy_factory(level, object_id)
+            proxy.register_object(object_id, self.upstream_of(level), policy)
+            policies[level] = policy
+        return policies
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def polls_per_level(self, object_id: Optional[ObjectId] = None) -> List[int]:
+        """Poll counts by level (for one object, or each level's total)."""
+        if object_id is None:
+            return [proxy.counters.get("polls") for proxy in self._proxies]
+        return [
+            proxy.entry_for(object_id).poll_count for proxy in self._proxies
+        ]
+
+    def origin_request_count(self) -> int:
+        """Requests the origin actually received (the root's polls)."""
+        return self._origin.counters.get("requests")
+
+    def __repr__(self) -> str:
+        return f"ProxyChain(depth={self.depth}, origin={self._origin.name!r})"

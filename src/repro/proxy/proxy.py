@@ -1,0 +1,389 @@
+"""The proxy cache — ties together cache, refreshers, network, policies.
+
+The proxy:
+
+* serves client requests from cache (hits) or by fetching from the
+  origin (misses), per Section 5's design;
+* registers objects for consistency maintenance: each registered object
+  gets a :class:`~repro.proxy.refresher.Refresher` driven by a
+  :class:`~repro.consistency.base.RefreshPolicy`;
+* polls origins with conditional GETs when TTRs expire;
+* notifies observers (the mutual-consistency coordinators) of every
+  completed poll so they can trigger polls of related objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.consistency.base import PolicyFactory, PollObserver, RefreshPolicy
+from repro.core.errors import CacheConfigurationError, UnknownObjectError
+from repro.core.events import PollEvent, PollReason
+from repro.core.types import ObjectId, ObjectSnapshot, PollOutcome, Seconds
+from repro.httpsim.messages import Request, Response, Status, conditional_get
+from repro.httpsim.network import Network
+from repro.httpsim.semantics import RequestTarget, evaluate_conditional_get
+from repro.proxy.cache import ObjectCache
+from repro.proxy.entry import CacheEntry
+from repro.proxy.refresher import Refresher
+from repro.sim.kernel import Kernel
+from repro.sim.stats import Counter
+from repro.sim.tracing import EventLog
+
+
+class ProxyCache:
+    """A simulated web proxy cache with pluggable consistency policies.
+
+    Args:
+        kernel: The simulation kernel (provides the clock and timers).
+        network: Transport to origin servers.
+        cache: Storage; defaults to an unbounded cache (the paper's
+            configuration).
+        want_history: Whether polls request the Section 5.1
+            modification-history extension.
+        event_log: Optional structured log for post-run analysis.
+        name: Identifier used in logs and error messages; give each
+            level of a proxy hierarchy a distinct name.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: Network,
+        *,
+        cache: Optional[ObjectCache] = None,
+        want_history: bool = True,
+        event_log: Optional[EventLog] = None,
+        triggered_polls_reschedule: bool = False,
+        name: str = "proxy",
+    ) -> None:
+        self.name = name
+        self._kernel = kernel
+        self._network = network
+        self._cache = cache if cache is not None else ObjectCache()
+        self._want_history = want_history
+        self._event_log = event_log
+        #: Whether a MUTUAL_TRIGGER poll replaces the object's next
+        #: scheduled poll (True) or is an additional poll on top of the
+        #: unchanged schedule (False, the paper's semantics).
+        self.triggered_polls_reschedule = triggered_polls_reschedule
+        self._servers: Dict[ObjectId, RequestTarget] = {}
+        self._refreshers: Dict[ObjectId, Refresher] = {}
+        self._observers: List[PollObserver] = []
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    @property
+    def cache(self) -> ObjectCache:
+        return self._cache
+
+    @property
+    def want_history(self) -> bool:
+        return self._want_history
+
+    def add_observer(self, observer: PollObserver) -> None:
+        """Attach a poll observer (e.g. a mutual-consistency coordinator)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: PollObserver) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_object(
+        self,
+        object_id: ObjectId,
+        server: RequestTarget,
+        policy: RefreshPolicy,
+        *,
+        initial_fetch: bool = True,
+    ) -> Refresher:
+        """Place an object under consistency maintenance.
+
+        Performs the initial fetch (so the cache starts populated, as a
+        proxy that has just served a miss would be) and arms the first
+        refresh at ``policy.first_ttr()`` from now.
+
+        ``server`` may be an origin server or another :class:`ProxyCache`
+        (a hierarchy's parent) — anything satisfying
+        :class:`~repro.httpsim.semantics.RequestTarget`.
+        """
+        if object_id in self._refreshers:
+            raise CacheConfigurationError(
+                f"object {object_id!r} is already registered"
+            )
+        self._servers[object_id] = server
+        refresher = Refresher(self._kernel, object_id, policy, self._issue_poll)
+        self._refreshers[object_id] = refresher
+        if initial_fetch:
+            self._issue_poll(object_id, PollReason.INITIAL_FETCH)
+        refresher.start()
+        return refresher
+
+    def register_with_factory(
+        self,
+        object_id: ObjectId,
+        server: RequestTarget,
+        factory: PolicyFactory,
+        **kwargs,
+    ) -> Refresher:
+        """Convenience: build the policy from a factory, then register."""
+        return self.register_object(object_id, server, factory(object_id), **kwargs)
+
+    def deregister_object(self, object_id: ObjectId) -> None:
+        """Stop refreshing an object and drop its server binding."""
+        refresher = self._refreshers.pop(object_id, None)
+        if refresher is None:
+            raise UnknownObjectError(str(object_id), where="proxy refreshers")
+        refresher.stop()
+        self._servers.pop(object_id, None)
+
+    def refresher_for(self, object_id: ObjectId) -> Refresher:
+        try:
+            return self._refreshers[object_id]
+        except KeyError:
+            raise UnknownObjectError(str(object_id), where="proxy refreshers") from None
+
+    def entry_for(self, object_id: ObjectId) -> CacheEntry:
+        entry = self._cache.get(object_id, touch=False)
+        if entry is None:
+            raise UnknownObjectError(str(object_id), where="proxy cache")
+        return entry
+
+    def registered_objects(self) -> List[ObjectId]:
+        return list(self._refreshers)
+
+    # ------------------------------------------------------------------
+    # Client-facing request path
+    # ------------------------------------------------------------------
+    def handle_client_request(self, object_id: ObjectId) -> ObjectSnapshot:
+        """Serve a client request: cache hit or fetch-on-miss.
+
+        Cache hits return the cached snapshot without contacting the
+        origin (the consistency policy is responsible for freshness);
+        misses fetch from the origin synchronously and populate the
+        cache.
+        """
+        entry = self._cache.get(object_id)
+        if entry is not None and entry.populated:
+            entry.record_hit()
+            self.counters.increment("client_hits")
+            assert entry.snapshot is not None
+            return entry.snapshot
+        self.counters.increment("client_misses")
+        server = self._servers.get(object_id)
+        if server is None:
+            raise UnknownObjectError(str(object_id), where="proxy server bindings")
+        self._issue_poll(object_id, PollReason.CACHE_MISS)
+        entry = self.entry_for(object_id)
+        if entry.snapshot is None:
+            raise UnknownObjectError(str(object_id), where=server.name)
+        return entry.snapshot
+
+    def bind_server(self, object_id: ObjectId, server: RequestTarget) -> None:
+        """Associate an object with an upstream without registering a policy.
+
+        Used by workload-only scenarios (pure hit/miss studies).
+        """
+        self._servers[object_id] = server
+
+    # ------------------------------------------------------------------
+    # Upstream-facing request path (hierarchical caching)
+    # ------------------------------------------------------------------
+    def handle_request(self, request: Request, now: Seconds) -> Response:
+        """Answer a conditional GET from this proxy's cache.
+
+        Makes the proxy usable as the upstream of another proxy (it
+        satisfies :class:`~repro.httpsim.semantics.RequestTarget`): a
+        child's poll is served from whatever this proxy currently
+        caches, *without* contacting the origin — the child's freshness
+        is bounded by this proxy's own consistency policy.  The history
+        extension is served from the modification times this proxy has
+        itself observed, so intermediate updates this proxy missed stay
+        invisible downstream (the fidelity a real hierarchy provides).
+        """
+        self.counters.increment("downstream_requests")
+        entry = self._cache.get(request.object_id, touch=False)
+        snapshot = entry.snapshot if entry is not None else None
+        if entry is None or snapshot is None:
+            self.counters.increment("downstream_404")
+            return evaluate_conditional_get(
+                request,
+                now=now,
+                last_modified=None,
+                version=None,
+                value=None,
+                history_times=(),
+            )
+        history = (
+            entry.known_modification_times() if request.wants_history else ()
+        )
+        return evaluate_conditional_get(
+            request,
+            now=now,
+            last_modified=snapshot.last_modified,
+            version=snapshot.version,
+            value=snapshot.value,
+            history_times=history,
+        )
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def recover_from_failure(self) -> int:
+        """Simulate a proxy crash-and-restart (paper Section 3.1).
+
+        The paper argues LIMD's minimal state makes recovery trivial:
+        "recovering from a proxy failure simply involves reseting the
+        TTRs of all objects to TTR_min".  Every registered object's
+        policy is reset and its refresh timer restarted; cached entries
+        survive (they are revalidated by the next conditional GET).
+
+        Returns:
+            The number of objects whose refreshers were recovered.
+        """
+        self.counters.increment("recoveries")
+        recovered = 0
+        for refresher in self._refreshers.values():
+            refresher.recover()
+            recovered += 1
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Coordinator-facing poll path
+    # ------------------------------------------------------------------
+    def trigger_poll(self, object_id: ObjectId, *, reason: PollReason) -> None:
+        """Force an immediate poll of a registered object.
+
+        Mutual-trigger polls follow ``triggered_polls_reschedule``;
+        other forced polls always replace the scheduled one.
+        """
+        reschedule = (
+            self.triggered_polls_reschedule
+            if reason is PollReason.MUTUAL_TRIGGER
+            else True
+        )
+        self.refresher_for(object_id).poll_now(reason, reschedule=reschedule)
+
+    # ------------------------------------------------------------------
+    # Internal poll machinery
+    # ------------------------------------------------------------------
+    def _issue_poll(self, object_id: ObjectId, reason: PollReason) -> None:
+        server = self._servers.get(object_id)
+        if server is None:
+            raise UnknownObjectError(str(object_id), where="proxy server bindings")
+        entry = self._cache.get_or_create(object_id)
+        now = self._kernel.now()
+        ims = (
+            entry.snapshot.last_modified if entry.snapshot is not None else None
+        )
+        request = conditional_get(
+            object_id,
+            if_modified_since=ims,
+            want_history=self._want_history,
+            issued_at=now,
+        )
+        self.counters.increment("polls")
+        self.counters.increment(f"polls_{reason.value}")
+
+        def on_response(response: Response) -> None:
+            self._complete_poll(object_id, entry, reason, response)
+
+        self._network.exchange(request, server.handle_request, on_response)
+
+    def _complete_poll(
+        self,
+        object_id: ObjectId,
+        entry: CacheEntry,
+        reason: PollReason,
+        response: Response,
+    ) -> None:
+        now = self._kernel.now()
+        response.require_ok_or_not_modified()
+        modified = response.status is Status.OK
+        if modified:
+            assert response.version is not None
+            assert response.last_modified is not None
+            cached = entry.snapshot
+            if cached is not None and response.version < cached.version:
+                # With jittered latency, two in-flight polls can complete
+                # out of order: a response generated before a server
+                # update can arrive after one generated afterwards.
+                # Recording it would regress the cached version, breaking
+                # the paper's Section 2 requirement that the proxy
+                # version monotonically increases.  Treat the overtaken
+                # response as a re-validation of the (newer) cached copy
+                # — the 304 path — so the refresher still re-arms.
+                self.counters.increment("stale_responses")
+                modified = False
+                snapshot = cached
+            else:
+                snapshot = ObjectSnapshot(
+                    object_id=object_id,
+                    version=response.version,
+                    last_modified=response.last_modified,
+                    value=response.value,
+                )
+        else:
+            cached = entry.snapshot
+            if cached is None:
+                # A 304 for an empty cache entry is a protocol anomaly —
+                # we never send IMS without a cached copy.
+                raise UnknownObjectError(str(object_id), where="proxy cache (304)")
+            snapshot = cached
+
+        history = response.modification_history
+        first_unseen: Optional[Seconds] = None
+        updates_since: Optional[int] = None
+        if modified and history is not None:
+            updates_since = len(history)
+            if history:
+                first_unseen = history[0]
+
+        entry.record_fetch(now, snapshot, modified=modified, reason=reason)
+        refresher = self._refreshers.get(object_id)
+        outcome = PollOutcome(
+            poll_time=now,
+            modified=modified,
+            snapshot=snapshot,
+            first_unseen_update=first_unseen,
+            updates_since_last_poll=updates_since,
+        )
+        ttr_before = refresher.policy.current_ttr if refresher else None
+        additional = (
+            reason is PollReason.MUTUAL_TRIGGER
+            and not self.triggered_polls_reschedule
+        )
+        if refresher is not None:
+            if additional:
+                refresher.on_triggered_poll(outcome)
+            else:
+                refresher.on_poll_complete(outcome)
+        if self._event_log is not None:
+            self._event_log.record(
+                PollEvent(
+                    time=now,
+                    object_id=object_id,
+                    reason=reason,
+                    modified=modified,
+                    ttr_before=ttr_before,
+                    ttr_after=refresher.policy.current_ttr if refresher else None,
+                )
+            )
+        if modified:
+            self.counters.increment("polls_modified")
+        for observer in list(self._observers):
+            observer.on_poll_complete(object_id, outcome)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProxyCache(objects={len(self._refreshers)}, "
+            f"polls={self.counters.get('polls')})"
+        )

@@ -1,0 +1,147 @@
+"""The origin server: an object store plus HTTP request handling.
+
+The server owns :class:`ServerObject` instances and answers simulated
+HTTP requests (conditional GETs) against them, optionally including the
+Section 5.1 modification-history extension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.core.errors import UnknownObjectError
+from repro.core.events import UpdateAppliedEvent
+from repro.core.types import ObjectId, Seconds
+from repro.httpsim.messages import Request, Response
+from repro.httpsim.semantics import evaluate_conditional_get
+from repro.server.objects import ServerObject
+from repro.sim.stats import Counter
+from repro.sim.tracing import EventLog
+
+
+class OriginServer:
+    """A simulated origin server.
+
+    Attributes:
+        name: Identifier used in logs and experiment reports.
+        supports_history: Whether the server implements the Section 5.1
+            modification-history extension.  When False, requests asking
+            for history receive responses without the header — exactly
+            the degradation the paper discusses for plain HTTP/1.1.
+    """
+
+    def __init__(
+        self,
+        name: str = "origin",
+        *,
+        supports_history: bool = True,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        self.name = name
+        self.supports_history = supports_history
+        self._objects: Dict[ObjectId, ServerObject] = {}
+        self._event_log = event_log
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------
+    # Object management
+    # ------------------------------------------------------------------
+    def create_object(
+        self,
+        object_id: ObjectId,
+        *,
+        created_at: Seconds = 0.0,
+        initial_value: Optional[float] = None,
+    ) -> ServerObject:
+        """Create and register a new object; error if it already exists."""
+        if object_id in self._objects:
+            raise ValueError(f"object {object_id!r} already exists on {self.name}")
+        obj = ServerObject(
+            object_id, created_at=created_at, initial_value=initial_value
+        )
+        self._objects[object_id] = obj
+        return obj
+
+    def get_object(self, object_id: ObjectId) -> ServerObject:
+        """Look up an object; raises :class:`UnknownObjectError` if absent."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise UnknownObjectError(str(object_id), where=self.name) from None
+
+    def has_object(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def object_ids(self) -> Iterator[ObjectId]:
+        return iter(self._objects)
+
+    def apply_update(
+        self, object_id: ObjectId, time: Seconds, value: Optional[float] = None
+    ) -> None:
+        """Apply one update to an object (called by the update feeder)."""
+        obj = self.get_object(object_id)
+        record = obj.apply_update(time, value)
+        self.counters.increment("updates_applied")
+        if self._event_log is not None:
+            self._event_log.record(
+                UpdateAppliedEvent(
+                    time=time,
+                    object_id=object_id,
+                    version=record.version,
+                    value=record.value,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+    def handle_request(self, request: Request, now: Seconds) -> Response:
+        """Answer a simulated HTTP request at server time ``now``."""
+        self.counters.increment("requests")
+        obj = self._objects.get(request.object_id)
+        if obj is None:
+            self.counters.increment("responses_404")
+            return evaluate_conditional_get(
+                request,
+                now=now,
+                last_modified=None,
+                version=None,
+                value=None,
+                history_times=(),
+            )
+        wants_history = request.wants_history and self.supports_history
+        if request.wants_history and not self.supports_history:
+            # Strip the extension ask: a plain HTTP/1.1 server ignores
+            # unknown headers, so the response simply lacks history.
+            request = _without_history_request(request)
+        response = evaluate_conditional_get(
+            request,
+            now=now,
+            last_modified=obj.last_modified,
+            version=obj.current_version,
+            value=obj.current_value,
+            history_times=obj.modification_times() if wants_history else (),
+        )
+        self.counters.increment(f"responses_{int(response.status)}")
+        return response
+
+    def __repr__(self) -> str:
+        return (
+            f"OriginServer({self.name!r}, objects={len(self._objects)}, "
+            f"history={self.supports_history})"
+        )
+
+
+def _without_history_request(request: Request) -> Request:
+    """Copy a request with the history-extension ask removed."""
+    from repro.httpsim import headers as h
+
+    headers = request.headers.copy()
+    if h.WANT_HISTORY in headers:
+        headers.set(h.WANT_HISTORY, "0")
+    return Request(
+        method=request.method,
+        object_id=request.object_id,
+        headers=headers,
+        issued_at=request.issued_at,
+    )

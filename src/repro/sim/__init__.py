@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel and supporting utilities."""
+
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.process import Process, spawn
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    SummarySnapshot,
+    SummaryStats,
+    TimeWeightedValue,
+)
+from repro.sim.timers import PeriodicTimer, RestartableTimer
+from repro.sim.tracing import EventLog
+
+__all__ = [
+    "EventHandle",
+    "Kernel",
+    "Process",
+    "spawn",
+    "Counter",
+    "Histogram",
+    "SummarySnapshot",
+    "SummaryStats",
+    "TimeWeightedValue",
+    "PeriodicTimer",
+    "RestartableTimer",
+    "EventLog",
+]

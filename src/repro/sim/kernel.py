@@ -1,0 +1,255 @@
+"""Discrete-event simulation kernel.
+
+A classic priority-queue DES: events are ``(time, sequence, callback)``
+entries; the kernel pops the earliest event, advances the clock to its
+timestamp, and invokes the callback.  Ties are broken by insertion order
+(FIFO), which makes runs deterministic for a given seed and schedule.
+
+The kernel is deliberately small — no coroutines, no channels — because
+the paper's simulation only needs timers (TTR expirations and trace
+updates).  The :mod:`repro.sim.process` module layers a lightweight
+process abstraction on top for components that prefer that style.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import SchedulingInPastError, SimulationError
+from repro.core.types import Seconds
+
+#: An event callback.  It receives the kernel so it can schedule
+#: follow-up events; the current time is ``kernel.now()``.
+EventCallback = Callable[["Kernel"], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry. Ordered by (time, sequence)."""
+
+    time: Seconds
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """A handle to a scheduled event, usable to cancel it.
+
+    Cancellation is lazy: the heap entry is flagged and skipped when it
+    reaches the head of the queue.  Cancelling an already-fired or
+    already-cancelled event is an error (it usually indicates a
+    bookkeeping bug in the caller), surfaced as ``SimulationError``.
+    """
+
+    __slots__ = ("_event", "_fired")
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+        self._fired = False
+
+    @property
+    def time(self) -> Seconds:
+        """The time the event is (or was) scheduled to fire."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True if the event is still waiting to fire."""
+        return not self._fired and not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event.  Raises ``SimulationError`` if not pending."""
+        if self._fired:
+            raise SimulationError(
+                f"cannot cancel event {self._event.label!r}: already fired"
+            )
+        if self._event.cancelled:
+            raise SimulationError(
+                f"cannot cancel event {self._event.label!r}: already cancelled"
+            )
+        self._event.cancelled = True
+
+    def cancel_if_pending(self) -> bool:
+        """Cancel the event if pending; return whether it was cancelled."""
+        if self.pending:
+            self._event.cancelled = True
+            return True
+        return False
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled"
+            if self._event.cancelled
+            else ("fired" if self._fired else "pending")
+        )
+        return f"EventHandle(t={self._event.time}, label={self._event.label!r}, {state})"
+
+
+class Kernel:
+    """The discrete-event simulation engine.
+
+    Example:
+        >>> k = Kernel()
+        >>> fired = []
+        >>> _ = k.schedule_at(5.0, lambda kern: fired.append(kern.now()))
+        >>> k.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, start_time: Seconds = 0.0) -> None:
+        if start_time < 0:
+            raise ValueError(f"start_time must be >= 0, got {start_time}")
+        self._now: Seconds = start_time
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._events_processed = 0
+        self._handles: dict[int, EventHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Clock protocol
+    # ------------------------------------------------------------------
+    def now(self) -> Seconds:
+        """Current simulation time (satisfies the ``Clock`` protocol)."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, when: Seconds, callback: EventCallback, *, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at absolute time ``when``.
+
+        Raises:
+            SchedulingInPastError: if ``when`` precedes the current time.
+        """
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        event = _ScheduledEvent(
+            time=when, sequence=next(self._sequence), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        handle = EventHandle(event)
+        self._handles[event.sequence] = handle
+        return handle
+
+    def schedule_after(
+        self, delay: Seconds, callback: EventCallback, *, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next pending event.
+
+        Returns:
+            True if an event was processed, False if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            handle = self._handles.pop(event.sequence, None)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if handle is not None:
+                handle._mark_fired()
+            self._events_processed += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: Optional[Seconds] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue is empty, ``until`` is reached, or
+        ``max_events`` events have been processed.
+
+        Events scheduled exactly at ``until`` are processed; the clock is
+        advanced to ``until`` at the end even when the queue empties
+        earlier, so time-weighted statistics cover the full horizon.
+
+        Returns:
+            The number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until}, already at t={self._now}"
+            )
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = self._next_pending_time()
+                if head is None:
+                    break
+                if until is not None and head > until:
+                    break
+                if self.step():
+                    processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return processed
+
+    def _next_pending_time(self) -> Optional[Seconds]:
+        """Peek the timestamp of the next non-cancelled event."""
+        while self._heap and self._heap[0].cancelled:
+            dropped = heapq.heappop(self._heap)
+            self._handles.pop(dropped.sequence, None)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed over the kernel's lifetime."""
+        return self._events_processed
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel(now={self._now}, pending={self.pending_count}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,92 @@
+"""Generator-based process abstraction over the kernel.
+
+Some workload components (client request streams, update feeders) read
+more naturally as sequential processes than as callback chains.  A
+process is a Python generator that yields the *delay* until its next
+step; the runner schedules each resumption on the kernel.
+
+Example:
+    >>> from repro.sim.kernel import Kernel
+    >>> k = Kernel()
+    >>> seen = []
+    >>> def proc():
+    ...     seen.append(("start", 0.0))
+    ...     yield 2.0
+    ...     seen.append(("tick", 2.0))
+    ...     yield 3.0
+    ...     seen.append(("done", 5.0))
+    >>> _ = spawn(k, proc())
+    >>> _ = k.run()
+    >>> [name for name, _ in seen]
+    ['start', 'tick', 'done']
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.types import Seconds
+from repro.sim.kernel import EventHandle, Kernel
+
+#: A process body: yields delays (seconds) between steps.
+ProcessBody = Generator[Seconds, None, None]
+
+
+class Process:
+    """A running process.  Created via :func:`spawn`."""
+
+    def __init__(self, kernel: Kernel, body: ProcessBody, *, label: str = "") -> None:
+        self._kernel = kernel
+        self._body = body
+        self._label = label
+        self._finished = False
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def stop(self) -> None:
+        """Terminate the process before its next step."""
+        if self._handle is not None:
+            self._handle.cancel_if_pending()
+            self._handle = None
+        if not self._finished:
+            self._body.close()
+            self._finished = True
+
+    def _start(self) -> None:
+        # The first step runs immediately (at the current time) so that a
+        # process can perform setup at spawn time.
+        self._handle = self._kernel.schedule_after(0.0, self._step, label=self._label)
+
+    def _step(self, kernel: Kernel) -> None:
+        self._handle = None
+        if self._finished:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration:
+            self._finished = True
+            return
+        if delay < 0:
+            self._finished = True
+            self._body.close()
+            raise ValueError(
+                f"process {self._label!r} yielded negative delay {delay}"
+            )
+        self._handle = kernel.schedule_after(delay, self._step, label=self._label)
+
+    def __repr__(self) -> str:
+        return f"Process(label={self._label!r}, finished={self._finished})"
+
+
+def spawn(kernel: Kernel, body: ProcessBody, *, label: str = "") -> Process:
+    """Start a process on the kernel and return its handle."""
+    process = Process(kernel, body, label=label)
+    process._start()
+    return process

@@ -1,0 +1,254 @@
+"""Statistics primitives for simulation components.
+
+Three workhorses:
+
+* :class:`Counter` — monotone named counters (polls, violations, hits).
+* :class:`TimeWeightedValue` — integrates a piecewise-constant signal
+  over time; used for Eq. 14 fidelity (total out-of-sync time is the
+  integral of an indicator signal).
+* :class:`SummaryStats` — streaming min/max/mean/variance via Welford's
+  algorithm, for TTR distributions and poll-interval summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.core.types import Seconds
+
+
+class Counter:
+    """A set of named monotone counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, by: int = 1) -> int:
+        """Increase counter ``name`` by ``by`` (must be >= 0)."""
+        if by < 0:
+            raise ValueError(f"cannot increment by negative amount {by}")
+        new = self._counts.get(name, 0) + by
+        self._counts[name] = new
+        return new
+
+    def get(self, name: str) -> int:
+        """Return the current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a copy of all counters."""
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Counter({self._counts})"
+
+
+class TimeWeightedValue:
+    """Integrates a piecewise-constant signal over simulation time.
+
+    The signal starts at ``initial`` at time ``start``.  Each call to
+    :meth:`set` records the area under the old value and switches to the
+    new one.  :meth:`integral` and :meth:`mean` close the current segment
+    at the query time without mutating state.
+    """
+
+    def __init__(self, start: Seconds = 0.0, initial: float = 0.0) -> None:
+        self._segment_start: Seconds = start
+        self._value: float = initial
+        self._area: float = 0.0
+        self._origin: Seconds = start
+
+    @property
+    def value(self) -> float:
+        """The current signal value."""
+        return self._value
+
+    def set(self, now: Seconds, value: float) -> None:
+        """Switch the signal to ``value`` at time ``now``."""
+        if now < self._segment_start:
+            raise ValueError(
+                f"time went backwards: {now} < {self._segment_start}"
+            )
+        self._area += self._value * (now - self._segment_start)
+        self._segment_start = now
+        self._value = value
+
+    def integral(self, now: Seconds) -> float:
+        """Area under the signal from the origin to ``now``."""
+        if now < self._segment_start:
+            raise ValueError(
+                f"query time {now} precedes segment start {self._segment_start}"
+            )
+        return self._area + self._value * (now - self._segment_start)
+
+    def mean(self, now: Seconds) -> float:
+        """Time-weighted mean of the signal from the origin to ``now``."""
+        duration = now - self._origin
+        if duration <= 0:
+            return self._value
+        return self.integral(now) / duration
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeWeightedValue(value={self._value}, "
+            f"since={self._segment_start}, area={self._area})"
+        )
+
+
+@dataclass
+class SummarySnapshot:
+    """An immutable snapshot of a :class:`SummaryStats`."""
+
+    count: int
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance) if self.variance > 0 else 0.0
+
+
+class SummaryStats:
+    """Streaming summary statistics (Welford's online algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, x: float) -> None:
+        """Record one observation."""
+        if not math.isfinite(x):
+            raise ValueError(f"observation must be finite, got {x}")
+        self._count += 1
+        delta = x - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (x - self._mean)
+        self._min = x if self._min is None else min(self._min, x)
+        self._max = x if self._max is None else max(self._max, x)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 when fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._min is None:
+            raise ValueError("no observations recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._max is None:
+            raise ValueError("no observations recorded")
+        return self._max
+
+    def snapshot(self) -> SummarySnapshot:
+        """Return an immutable copy of the current statistics."""
+        if self._count == 0:
+            return SummarySnapshot(0, 0.0, 0.0, math.nan, math.nan)
+        return SummarySnapshot(
+            count=self._count,
+            mean=self._mean,
+            variance=self.variance,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    def __repr__(self) -> str:
+        if self._count == 0:
+            return "SummaryStats(empty)"
+        return (
+            f"SummaryStats(n={self._count}, mean={self._mean:.4g}, "
+            f"min={self._min:.4g}, max={self._max:.4g})"
+        )
+
+
+class Histogram:
+    """A fixed-bin histogram over [low, high).
+
+    Out-of-range observations are clamped into the first/last bin and
+    counted separately so callers can detect poorly chosen ranges.
+    """
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        if high <= low:
+            raise ValueError(f"high ({high}) must exceed low ({low})")
+        self._low = low
+        self._high = high
+        self._bins = bins
+        self._width = (high - low) / bins
+        self._counts = [0] * bins
+        self._underflow = 0
+        self._overflow = 0
+        self._total = 0
+
+    def observe(self, x: float) -> None:
+        """Record one observation, clamping out-of-range values."""
+        self._total += 1
+        if x < self._low:
+            self._underflow += 1
+            self._counts[0] += 1
+            return
+        if x >= self._high:
+            self._overflow += 1
+            self._counts[-1] += 1
+            return
+        index = int((x - self._low) / self._width)
+        index = min(index, self._bins - 1)
+        self._counts[index] += 1
+
+    @property
+    def counts(self) -> list[int]:
+        return list(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def underflow(self) -> int:
+        return self._underflow
+
+    @property
+    def overflow(self) -> int:
+        return self._overflow
+
+    def bin_edges(self) -> list[float]:
+        """Return the bins' left edges plus the final right edge."""
+        return [self._low + i * self._width for i in range(self._bins + 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram([{self._low}, {self._high}), bins={self._bins}, "
+            f"total={self._total})"
+        )

@@ -1,0 +1,159 @@
+"""Timer helpers built on the kernel.
+
+The proxy refreshers are driven by *rescheduleable* one-shot timers: a
+TTR expires, the policy computes the next TTR, and the timer is re-armed.
+``RestartableTimer`` encapsulates that pattern; ``PeriodicTimer`` covers
+fixed-interval polling (the paper's baseline approach).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import SimulationError
+from repro.core.types import Seconds
+from repro.sim.kernel import EventHandle, Kernel
+
+#: Callback invoked when a timer fires.  Receives the fire time.
+TimerCallback = Callable[[Seconds], None]
+
+
+class RestartableTimer:
+    """A one-shot timer that can be re-armed or rescheduled.
+
+    Used by the refresh scheduler: each poll computes a new TTR and the
+    timer is re-armed for ``now + ttr``.  Mutual-consistency triggered
+    polls may also *pull in* the timer to an earlier instant.
+    """
+
+    def __init__(self, kernel: Kernel, callback: TimerCallback, *, label: str = "") -> None:
+        self._kernel = kernel
+        self._callback = callback
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer is currently waiting to fire."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def next_fire_time(self) -> Optional[Seconds]:
+        """The absolute time of the next firing, or None if unarmed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def arm_at(self, when: Seconds) -> None:
+        """Arm (or re-arm) the timer to fire at absolute time ``when``."""
+        self.disarm()
+        self._handle = self._kernel.schedule_at(when, self._fire, label=self._label)
+
+    def arm_after(self, delay: Seconds) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.arm_at(self._kernel.now() + delay)
+
+    def pull_in_to(self, when: Seconds) -> bool:
+        """Move the firing earlier, to ``when``, if it is currently later.
+
+        Returns True if the timer was moved.  A timer that is unarmed is
+        simply armed at ``when``.  Never pushes a timer later.
+        """
+        current = self.next_fire_time
+        if current is not None and current <= when:
+            return False
+        self.arm_at(when)
+        return True
+
+    def disarm(self) -> None:
+        """Cancel any pending firing.  Safe to call when unarmed."""
+        if self._handle is not None:
+            self._handle.cancel_if_pending()
+            self._handle = None
+
+    def _fire(self, kernel: Kernel) -> None:
+        self._handle = None
+        self._callback(kernel.now())
+
+    def __repr__(self) -> str:
+        return (
+            f"RestartableTimer(label={self._label!r}, armed={self.armed}, "
+            f"next={self.next_fire_time})"
+        )
+
+
+class PeriodicTimer:
+    """A fixed-interval repeating timer (the paper's baseline poller).
+
+    Fires first at ``start + period`` (or at ``start`` when
+    ``fire_immediately`` is set), then every ``period`` seconds until
+    stopped or until ``stop_after`` is reached.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        period: Seconds,
+        callback: TimerCallback,
+        *,
+        fire_immediately: bool = False,
+        stop_after: Optional[Seconds] = None,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if stop_after is not None and stop_after < kernel.now():
+            raise SimulationError(
+                f"stop_after={stop_after} precedes current time {kernel.now()}"
+            )
+        self._kernel = kernel
+        self._period = period
+        self._callback = callback
+        self._stop_after = stop_after
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        self._fire_count = 0
+        self._stopped = False
+        first = kernel.now() if fire_immediately else kernel.now() + period
+        self._schedule(first)
+
+    @property
+    def period(self) -> Seconds:
+        return self._period
+
+    @property
+    def fire_count(self) -> int:
+        return self._fire_count
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped and self._handle is not None
+
+    def stop(self) -> None:
+        """Stop the timer permanently."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel_if_pending()
+            self._handle = None
+
+    def _schedule(self, when: Seconds) -> None:
+        if self._stop_after is not None and when > self._stop_after:
+            self._handle = None
+            return
+        self._handle = self._kernel.schedule_at(when, self._fire, label=self._label)
+
+    def _fire(self, kernel: Kernel) -> None:
+        self._handle = None
+        if self._stopped:
+            return
+        self._fire_count += 1
+        self._callback(kernel.now())
+        if not self._stopped:
+            self._schedule(kernel.now() + self._period)
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicTimer(period={self._period}, fired={self._fire_count}, "
+            f"running={self.running})"
+        )

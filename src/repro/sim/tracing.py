@@ -1,0 +1,90 @@
+"""Structured event log.
+
+Components append typed event records (from :mod:`repro.core.events`)
+to an :class:`EventLog`.  Experiments then query the log to build the
+time series behind Figures 4, 6 and 8 and to cross-check the metric
+collectors.  The log can be disabled (``enabled=False``) for large
+benchmark sweeps where only aggregate counters are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Type, TypeVar, Union
+
+from repro.core.events import (
+    GenericEvent,
+    PollEvent,
+    TTRChangeEvent,
+    UpdateAppliedEvent,
+    ViolationEvent,
+)
+from repro.core.types import ObjectId, Seconds
+
+Event = Union[PollEvent, ViolationEvent, TTRChangeEvent, UpdateAppliedEvent, GenericEvent]
+E = TypeVar("E", PollEvent, ViolationEvent, TTRChangeEvent, UpdateAppliedEvent, GenericEvent)
+
+
+class EventLog:
+    """An append-only, time-ordered log of simulation events."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self._events: List[Event] = []
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def record(self, event: Event) -> None:
+        """Append an event.  No-op when the log is disabled."""
+        if not self._enabled:
+            return
+        if self._events and event.time < self._events[-1].time:
+            # Events must arrive in simulation order; a violation here is
+            # a component bug worth failing loudly on.
+            raise ValueError(
+                f"event at t={event.time} recorded after t={self._events[-1].time}"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        """Return all events of the given type, in time order."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def for_object(self, object_id: ObjectId) -> List[Event]:
+        """Return all events that carry the given object id."""
+        return [
+            e
+            for e in self._events
+            if getattr(e, "object_id", None) == object_id
+        ]
+
+    def between(self, start: Seconds, end: Seconds) -> List[Event]:
+        """Return events with start <= time < end."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def where(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        """Return events matching an arbitrary predicate."""
+        return [e for e in self._events if predicate(e)]
+
+    def last(self, event_type: Optional[Type[E]] = None) -> Optional[Event]:
+        """Return the most recent event (optionally of a given type)."""
+        if event_type is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if isinstance(event, event_type):
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        return f"EventLog(n={len(self._events)}, enabled={self._enabled})"

@@ -1,0 +1,185 @@
+"""Trace serialisation.
+
+Two formats:
+
+* **CSV** — one record per line (``time,version,value``), human-editable,
+  suitable for importing real poll-collected traces like the paper's.
+* **JSON** — self-describing, carries metadata and the observation
+  window, suitable for archiving generated workloads alongside results.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+from repro.core.errors import TraceFormatError
+from repro.core.types import ObjectId, UpdateRecord
+from repro.traces.model import TraceMetadata, UpdateTrace
+
+_CSV_FIELDS = ("time", "version", "value")
+_JSON_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def write_csv(trace: UpdateTrace, destination: Union[PathLike, TextIO]) -> None:
+    """Write a trace's records as CSV with a header row."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            _write_csv_stream(trace, handle)
+    else:
+        _write_csv_stream(trace, destination)
+
+
+def _write_csv_stream(trace: UpdateTrace, stream: TextIO) -> None:
+    writer = csv.writer(stream)
+    writer.writerow(_CSV_FIELDS)
+    for record in trace.records:
+        value = "" if record.value is None else repr(record.value)
+        writer.writerow([repr(record.time), record.version, value])
+
+
+def read_csv(
+    source: Union[PathLike, TextIO],
+    object_id: str,
+    *,
+    start_time: Optional[float] = None,
+    end_time: Optional[float] = None,
+    metadata: Optional[TraceMetadata] = None,
+) -> UpdateTrace:
+    """Read a trace from CSV produced by :func:`write_csv` (or hand-made)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="", encoding="utf-8") as handle:
+            records = _read_csv_stream(handle)
+    else:
+        records = _read_csv_stream(source)
+    first_time = records[0].time if records else 0.0
+    return UpdateTrace(
+        ObjectId(object_id),
+        records,
+        start_time=start_time if start_time is not None else min(0.0, first_time),
+        end_time=end_time,
+        metadata=metadata,
+    )
+
+
+def _read_csv_stream(stream: TextIO) -> List[UpdateRecord]:
+    reader = csv.reader(stream)
+    try:
+        header = next(reader)
+    except StopIteration:
+        return []
+    if [h.strip().lower() for h in header] != list(_CSV_FIELDS):
+        raise TraceFormatError(
+            f"unexpected CSV header {header!r}; expected {list(_CSV_FIELDS)}"
+        )
+    records: List[UpdateRecord] = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 3:
+            raise TraceFormatError(
+                f"line {line_no}: expected 3 fields, got {len(row)}"
+            )
+        try:
+            time = float(row[0])
+            version = int(row[1])
+            value = float(row[2]) if row[2].strip() else None
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_no}: {exc}") from exc
+        records.append(UpdateRecord(time, version, value))
+    return records
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def to_json_dict(trace: UpdateTrace) -> dict:
+    """Return a JSON-serialisable dict describing the trace."""
+    return {
+        "format_version": _JSON_FORMAT_VERSION,
+        "object_id": str(trace.object_id),
+        "start_time": trace.start_time,
+        "end_time": trace.end_time,
+        "metadata": {
+            "name": trace.metadata.name,
+            "description": trace.metadata.description,
+            "source": trace.metadata.source,
+            "value_unit": trace.metadata.value_unit,
+        },
+        "records": [
+            {"time": r.time, "version": r.version, "value": r.value}
+            for r in trace.records
+        ],
+    }
+
+
+def from_json_dict(data: dict) -> UpdateTrace:
+    """Rebuild a trace from :func:`to_json_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != _JSON_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version!r}"
+            )
+        meta = data.get("metadata", {})
+        metadata = TraceMetadata(
+            name=meta.get("name", data["object_id"]),
+            description=meta.get("description", ""),
+            source=meta.get("source", "unknown"),
+            value_unit=meta.get("value_unit"),
+        )
+        records = [
+            UpdateRecord(r["time"], r["version"], r.get("value"))
+            for r in data["records"]
+        ]
+        return UpdateTrace(
+            ObjectId(data["object_id"]),
+            records,
+            start_time=data["start_time"],
+            end_time=data["end_time"],
+            metadata=metadata,
+        )
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace JSON: {exc}") from exc
+
+
+def write_json(trace: UpdateTrace, destination: Union[PathLike, TextIO]) -> None:
+    """Write a trace (with metadata) to a JSON file or stream."""
+    data = to_json_dict(trace)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+    else:
+        json.dump(data, destination, indent=2)
+
+
+def read_json(source: Union[PathLike, TextIO]) -> UpdateTrace:
+    """Read a trace written by :func:`write_json`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    if not isinstance(data, dict):
+        raise TraceFormatError("trace JSON must be an object at the top level")
+    return from_json_dict(data)
+
+
+def trace_to_csv_string(trace: UpdateTrace) -> str:
+    """Serialise a trace to a CSV string (convenience for tests/examples)."""
+    buffer = io.StringIO()
+    write_csv(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_csv_string(text: str, object_id: str, **kwargs) -> UpdateTrace:
+    """Parse a trace from a CSV string (convenience for tests/examples)."""
+    return read_csv(io.StringIO(text), object_id, **kwargs)

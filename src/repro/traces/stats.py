@@ -1,0 +1,142 @@
+"""Trace characterisation — the columns of the paper's Tables 2 and 3.
+
+Given an :class:`UpdateTrace`, compute the summary statistics the paper
+reports for its workloads, plus a few extras (gap distribution, binned
+update frequency) used by the Figure 4/6 time-series experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.types import HOUR, MINUTE, Seconds
+from repro.sim.stats import SummaryStats
+from repro.traces.model import UpdateTrace
+
+
+@dataclass(frozen=True)
+class TemporalTraceSummary:
+    """The Table 2 row for a temporal-domain trace."""
+
+    name: str
+    duration: Seconds
+    update_count: int
+    mean_update_interval: Seconds
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration / HOUR
+
+    @property
+    def mean_update_interval_minutes(self) -> float:
+        return self.mean_update_interval / MINUTE
+
+
+@dataclass(frozen=True)
+class ValueTraceSummary:
+    """The Table 3 row for a value-domain trace."""
+
+    name: str
+    duration: Seconds
+    update_count: int
+    min_value: float
+    max_value: float
+
+    @property
+    def value_range(self) -> float:
+        return self.max_value - self.min_value
+
+    @property
+    def mean_tick_interval(self) -> Seconds:
+        if self.update_count == 0:
+            return math.inf
+        return self.duration / self.update_count
+
+
+def summarize_temporal(trace: UpdateTrace) -> TemporalTraceSummary:
+    """Compute the Table 2 columns for a trace."""
+    count = trace.update_count
+    mean_interval = trace.duration / count if count else math.inf
+    return TemporalTraceSummary(
+        name=trace.metadata.name,
+        duration=trace.duration,
+        update_count=count,
+        mean_update_interval=mean_interval,
+    )
+
+
+def summarize_value(trace: UpdateTrace) -> ValueTraceSummary:
+    """Compute the Table 3 columns for a valued trace."""
+    if not trace.has_values:
+        raise ValueError(
+            f"trace {trace.object_id!r} has no values; "
+            "value summaries need a value-domain trace"
+        )
+    values = [r.value for r in trace.records if r.value is not None]
+    return ValueTraceSummary(
+        name=trace.metadata.name,
+        duration=trace.duration,
+        update_count=trace.update_count,
+        min_value=min(values),
+        max_value=max(values),
+    )
+
+
+def inter_update_gaps(trace: UpdateTrace) -> List[Seconds]:
+    """Return the gaps between consecutive updates."""
+    times = [r.time for r in trace.records]
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def gap_statistics(trace: UpdateTrace) -> SummaryStats:
+    """Summary statistics of inter-update gaps."""
+    stats = SummaryStats()
+    for gap in inter_update_gaps(trace):
+        stats.observe(gap)
+    return stats
+
+
+def updates_per_bin(
+    trace: UpdateTrace, bin_width: Seconds, *, end: Optional[Seconds] = None
+) -> List[int]:
+    """Count updates in consecutive bins of ``bin_width`` seconds.
+
+    This is the series behind Figure 4(a) ("number of updates per
+    2 hours").  The last partial bin is included.
+    """
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    horizon = end if end is not None else trace.end_time
+    span = horizon - trace.start_time
+    if span <= 0:
+        return []
+    bin_count = int(math.ceil(span / bin_width))
+    counts = [0] * bin_count
+    for record in trace.records:
+        if record.time >= horizon:
+            break
+        index = int((record.time - trace.start_time) / bin_width)
+        if 0 <= index < bin_count:
+            counts[index] += 1
+    return counts
+
+
+def update_rate_per_bin(
+    trace: UpdateTrace, bin_width: Seconds, *, end: Optional[Seconds] = None
+) -> List[float]:
+    """Update *rate* (updates per second) in each bin."""
+    return [c / bin_width for c in updates_per_bin(trace, bin_width, end=end)]
+
+
+def value_change_statistics(trace: UpdateTrace) -> SummaryStats:
+    """Summary of absolute per-tick value changes (valued traces only)."""
+    if not trace.has_values:
+        raise ValueError("value_change_statistics needs a value-domain trace")
+    stats = SummaryStats()
+    records = trace.records
+    for prev, curr in zip(records, records[1:]):
+        assert prev.value is not None and curr.value is not None
+        stats.observe(abs(curr.value - prev.value))
+    return stats

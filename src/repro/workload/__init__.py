@@ -1,0 +1,22 @@
+"""Client workload generation: arrivals, popularity, request streams."""
+
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals, RegularArrivals
+from repro.workload.popularity import (
+    PopularityModel,
+    RotatingPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from repro.workload.requests import RequestStream, RequestStreamConfig
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "RegularArrivals",
+    "PopularityModel",
+    "RotatingPopularity",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "RequestStream",
+    "RequestStreamConfig",
+]

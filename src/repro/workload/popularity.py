@@ -1,0 +1,88 @@
+"""Object popularity models.
+
+Web object popularity is famously Zipf-like; the request generator uses
+these distributions to pick which object each arrival asks for.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+from repro.core.types import ObjectId
+
+
+class PopularityModel(abc.ABC):
+    """Chooses an object for each request."""
+
+    @abc.abstractmethod
+    def choose(self) -> ObjectId:
+        ...
+
+
+class UniformPopularity(PopularityModel):
+    """All objects equally likely."""
+
+    def __init__(self, objects: Sequence[ObjectId], rng: random.Random) -> None:
+        if not objects:
+            raise ValueError("need at least one object")
+        self._objects = list(objects)
+        self._rng = rng
+
+    def choose(self) -> ObjectId:
+        return self._rng.choice(self._objects)
+
+
+class ZipfPopularity(PopularityModel):
+    """Zipf(s) popularity: the i-th ranked object has weight 1/i^s.
+
+    Args:
+        objects: Objects in rank order (index 0 = most popular).
+        exponent: The Zipf exponent ``s`` (web workloads: ~0.6–1.0).
+        rng: Random stream.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[ObjectId],
+        exponent: float,
+        rng: random.Random,
+    ) -> None:
+        if not objects:
+            raise ValueError("need at least one object")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self._objects = list(objects)
+        self._rng = rng
+        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(objects))]
+        self._cumulative: List[float] = list(itertools.accumulate(weights))
+
+    def choose(self) -> ObjectId:
+        target = self._rng.random() * self._cumulative[-1]
+        index = bisect.bisect_right(self._cumulative, target)
+        index = min(index, len(self._objects) - 1)
+        return self._objects[index]
+
+    def probability_of(self, object_id: ObjectId) -> float:
+        """The model's probability of choosing ``object_id``."""
+        index = self._objects.index(object_id)
+        previous = self._cumulative[index - 1] if index > 0 else 0.0
+        return (self._cumulative[index] - previous) / self._cumulative[-1]
+
+
+class RotatingPopularity(PopularityModel):
+    """Deterministic round-robin (useful in tests)."""
+
+    def __init__(self, objects: Sequence[ObjectId]) -> None:
+        if not objects:
+            raise ValueError("need at least one object")
+        self._objects = list(objects)
+        self._index = 0
+
+    def choose(self) -> ObjectId:
+        chosen = self._objects[self._index % len(self._objects)]
+        self._index += 1
+        return chosen

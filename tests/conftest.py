@@ -1,0 +1,52 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rng import RngRegistry
+from repro.core.types import ObjectId
+from repro.sim.kernel import Kernel
+from repro.traces.model import trace_from_ticks, trace_from_times
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh simulation kernel starting at t=0."""
+    return Kernel()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for direct use in tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A deterministic RNG registry."""
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def simple_trace():
+    """A small temporal trace: updates at t = 100, 200, ..., 1000."""
+    return trace_from_times(
+        ObjectId("obj"),
+        [100.0 * i for i in range(1, 11)],
+        start_time=0.0,
+        end_time=1100.0,
+    )
+
+
+@pytest.fixture
+def valued_trace():
+    """A small value trace: ticks every 10 s, value ramps 0 → 99."""
+    return trace_from_ticks(
+        ObjectId("stock"),
+        [(10.0 * (i + 1), float(i)) for i in range(100)],
+        start_time=0.0,
+        end_time=1010.0,
+    )

@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.trace == "cnn_fn"
+        assert args.pair == ("cnn_fn", "nyt_ap")
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["figure3", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_pair_option(self):
+        args = build_parser().parse_args(
+            ["figure5", "--pair", "guardian", "nyt_ap"]
+        )
+        assert args.pair == ["guardian", "nyt_ap"]
+
+    def test_invalid_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure3", "--trace", "bbc"])
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "table2" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["figure99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_table2_prints_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "CNN" in out
+        assert "Guardian" in out
+
+    def test_table3_prints_table(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "AT&T" in out
+
+    def test_figure4_runs(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "TTR" in out
+
+    def test_hierarchy_runs(self, capsys):
+        assert main(["hierarchy"]) == 0
+        out = capsys.readouterr().out
+        assert "flat" in out and "hierarchy" in out
+        assert "origin_requests" in out
+
+
+class TestApiReference:
+    def test_api_md_is_in_sync_with_docstrings(self):
+        """docs/API.md must match what tools/gen_api_md.py generates."""
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "gen_api_md", root / "tools" / "gen_api_md.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        expected = module.generate()
+        actual = (root / "docs" / "API.md").read_text()
+        assert actual == expected, (
+            "docs/API.md is stale; run `python tools/gen_api_md.py`"
+        )

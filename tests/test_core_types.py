@@ -1,0 +1,184 @@
+"""Unit tests for repro.core.types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.types import (
+    ConsistencyBounds,
+    GroupId,
+    GroupSpec,
+    ObjectId,
+    ObjectSnapshot,
+    TTRBounds,
+    UpdateRecord,
+    require_finite,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestUpdateRecord:
+    def test_basic_construction(self):
+        record = UpdateRecord(time=5.0, version=3, value=1.25)
+        assert record.time == 5.0
+        assert record.version == 3
+        assert record.value == 1.25
+
+    def test_value_defaults_to_none(self):
+        assert UpdateRecord(time=1.0, version=0).value is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            UpdateRecord(time=-1.0, version=0)
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            UpdateRecord(time=1.0, version=-1)
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            UpdateRecord(time=1.0, version=0, value=math.inf)
+
+    def test_ordering_is_by_time(self):
+        early = UpdateRecord(time=1.0, version=5)
+        late = UpdateRecord(time=2.0, version=1)
+        assert early < late
+
+    def test_frozen(self):
+        record = UpdateRecord(time=1.0, version=0)
+        with pytest.raises(AttributeError):
+            record.time = 2.0  # type: ignore[misc]
+
+
+class TestObjectSnapshot:
+    def test_is_newer_than(self):
+        old = ObjectSnapshot(ObjectId("x"), version=1, last_modified=10.0)
+        new = ObjectSnapshot(ObjectId("x"), version=2, last_modified=20.0)
+        assert new.is_newer_than(old)
+        assert not old.is_newer_than(new)
+        assert not old.is_newer_than(old)
+
+    def test_cross_object_comparison_rejected(self):
+        a = ObjectSnapshot(ObjectId("a"), version=1, last_modified=10.0)
+        b = ObjectSnapshot(ObjectId("b"), version=2, last_modified=20.0)
+        with pytest.raises(ValueError, match="different objects"):
+            a.is_newer_than(b)
+
+
+class TestConsistencyBounds:
+    def test_valid(self):
+        bounds = ConsistencyBounds(delta=5.0, mutual_delta=2.0)
+        assert bounds.delta == 5.0
+        assert bounds.mutual_delta == 2.0
+
+    def test_mutual_delta_optional(self):
+        assert ConsistencyBounds(delta=5.0).mutual_delta is None
+
+    def test_zero_mutual_delta_allowed(self):
+        assert ConsistencyBounds(delta=5.0, mutual_delta=0.0).mutual_delta == 0.0
+
+    def test_non_positive_delta_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistencyBounds(delta=0.0)
+        with pytest.raises(ValueError):
+            ConsistencyBounds(delta=-1.0)
+
+    def test_negative_mutual_delta_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistencyBounds(delta=1.0, mutual_delta=-0.1)
+
+
+class TestTTRBounds:
+    def test_clamp_inside(self):
+        bounds = TTRBounds(ttr_min=10.0, ttr_max=100.0)
+        assert bounds.clamp(50.0) == 50.0
+
+    def test_clamp_below(self):
+        bounds = TTRBounds(ttr_min=10.0, ttr_max=100.0)
+        assert bounds.clamp(1.0) == 10.0
+
+    def test_clamp_above(self):
+        bounds = TTRBounds(ttr_min=10.0, ttr_max=100.0)
+        assert bounds.clamp(1e9) == 100.0
+
+    def test_equal_bounds_allowed(self):
+        bounds = TTRBounds(ttr_min=10.0, ttr_max=10.0)
+        assert bounds.clamp(5.0) == 10.0
+        assert bounds.clamp(15.0) == 10.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TTRBounds(ttr_min=10.0, ttr_max=9.0)
+
+    def test_non_positive_min_rejected(self):
+        with pytest.raises(ValueError):
+            TTRBounds(ttr_min=0.0, ttr_max=10.0)
+
+
+class TestGroupSpec:
+    def _spec(self, members=("a", "b"), delta=5.0):
+        return GroupSpec(
+            group_id=GroupId("g"),
+            members=tuple(ObjectId(m) for m in members),
+            mutual_delta=delta,
+        )
+
+    def test_partners_of(self):
+        spec = self._spec(members=("a", "b", "c"))
+        assert spec.partners_of(ObjectId("b")) == (ObjectId("a"), ObjectId("c"))
+
+    def test_partners_of_unknown_member(self):
+        spec = self._spec()
+        with pytest.raises(KeyError):
+            spec.partners_of(ObjectId("zzz"))
+
+    def test_singleton_group_rejected(self):
+        with pytest.raises(ValueError, match="2 members"):
+            self._spec(members=("a",))
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self._spec(members=("a", "a"))
+
+    def test_zero_delta_allowed(self):
+        assert self._spec(delta=0.0).mutual_delta == 0.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            self._spec(delta=-1.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert require_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            require_positive("x", bad)
+
+    def test_require_non_negative_accepts_zero(self):
+        assert require_non_negative("x", 0.0) == 0.0
+
+    def test_require_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative("x", -0.001)
+
+    def test_require_finite_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_finite("x", math.nan)
+
+    def test_require_fraction_inclusive(self):
+        assert require_fraction("x", 0.0) == 0.0
+        assert require_fraction("x", 1.0) == 1.0
+
+    def test_require_fraction_exclusive(self):
+        with pytest.raises(ValueError):
+            require_fraction("x", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            require_fraction("x", 1.0, inclusive=False)
+        assert require_fraction("x", 0.5, inclusive=False) == 0.5

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion and prints its
+study.
+
+The examples are the library's user-facing front door; this keeps them
+from rotting as APIs evolve.  Each runs in-process (imported as a
+module and ``main()`` invoked) so failures carry real tracebacks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name.removesuffix('.py')}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_and_prints(script, capsys):
+    module = _load_module(script)
+    assert hasattr(module, "main"), f"{script} must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 3, f"{script} printed almost nothing"

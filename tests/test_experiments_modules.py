@@ -1,0 +1,165 @@
+"""Smoke tests for the per-table/figure experiment modules.
+
+The full sweeps live in ``benchmarks/``; here each module runs on a
+reduced parameter set to verify wiring, rendering, and the headline
+shape, keeping the unit suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table2,
+    table3,
+)
+from repro.experiments.ablations import (
+    ablate_partition,
+    ablate_trigger_semantics,
+    render_ablation,
+)
+
+
+class TestTables:
+    def test_table2_rows_match_paper_counts(self):
+        rows = table2.run()
+        counts = {row["key"]: row["num_updates"] for row in rows}
+        assert counts == {
+            key: spec["num_updates"]
+            for key, spec in table2.PAPER_TABLE2.items()
+        }
+
+    def test_table2_render_contains_all_traces(self):
+        out = table2.render()
+        assert "CNN" in out and "Guardian" in out
+
+    def test_table3_rows_match_paper_ranges(self):
+        rows = table3.run()
+        by_key = {row["key"]: row for row in rows}
+        assert by_key["att"]["min_value"] == pytest.approx(35.8)
+        assert by_key["yahoo"]["max_value"] == pytest.approx(171.2)
+
+    def test_table3_render(self):
+        out = table3.render()
+        assert "AT&T" in out and "Yahoo" in out
+
+
+class TestFigure3:
+    def test_reduced_sweep_shape(self):
+        result = figure3.run(deltas_min=(2, 30))
+        tight = result.row_for(2)
+        loose = result.row_for(30)
+        assert tight["limd_polls"] < tight["baseline_polls"]
+        assert loose["baseline_fidelity_violations"] == 1.0
+        assert figure3.render(result).startswith("Figure 3")
+
+
+class TestFigure4:
+    def test_series_cover_trace_window(self):
+        result = figure4.run()
+        assert result.update_frequency.start == 0.0
+        assert result.ttr.values
+        assert "Figure 4" in figure4.render(result)
+
+
+class TestFigure5:
+    def test_reduced_sweep_shape(self):
+        result = figure5.run(mutual_deltas_min=(2,))
+        row = result.rows[0]
+        assert row["triggered_fidelity"] == 1.0
+        assert row["heuristic_polls"] >= row["baseline_polls"] * 0.95
+        assert "Figure 5" in figure5.render(result)
+
+
+class TestFigure6:
+    def test_series_and_decisions(self):
+        result = figure6.run()
+        assert len(result.rate_ratio) == len(result.extra_polls)
+        assert result.total_extra_polls >= 0
+        assert "Figure 6" in figure6.render(result)
+
+
+class TestFigure7:
+    def test_reduced_sweep_shape(self):
+        result = figure7.run(mutual_deltas=(0.6, 4.0))
+        tight = result.row_for(0.6)
+        loose = result.row_for(4.0)
+        assert loose["adaptive_polls"] <= tight["adaptive_polls"]
+        assert loose["partitioned_fidelity"] >= tight["partitioned_fidelity"]
+        assert "Figure 7" in figure7.render(result)
+
+
+class TestFigure8:
+    def test_series_aligned_and_rendered(self):
+        result = figure8.run()
+        assert len(result.server) == len(result.adaptive_proxy)
+        assert len(result.server) == len(result.partitioned_proxy)
+        assert result.tracking_error("partitioned") >= 0.0
+        assert "Figure 8" in figure8.render(result)
+
+
+class TestAblationsSmoke:
+    def test_partition_ablation_rows(self):
+        rows = ablate_partition()
+        assert {row["split"] for row in rows} == {"static", "dynamic"}
+        assert "static" in render_ablation(rows, "t")
+
+    def test_trigger_semantics_rows(self):
+        rows = ablate_trigger_semantics()
+        assert {row["semantics"] for row in rows} == {"additional", "replace"}
+        for row in rows:
+            assert row["fidelity"] == 1.0
+
+
+class TestHierarchyExperiment:
+    def test_rows_and_render(self):
+        from repro.experiments import hierarchy
+
+        rows = hierarchy.run(edge_count=3)
+        assert [row["topology"] for row in rows] == ["flat", "hierarchy"]
+        flat, hier = rows
+        assert hier["origin_requests"] < flat["origin_requests"]
+        assert hier["parent_polls"] == hier["origin_requests"]
+        out = hierarchy.render(rows, edge_count=3)
+        assert "flat" in out and "hierarchy" in out
+
+    def test_edge_count_respected(self):
+        from repro.experiments import hierarchy
+
+        rows = hierarchy.run(edge_count=2)
+        assert rows[0]["edges"] == 2
+
+
+class TestGroupMtExperiment:
+    def test_reduced_sweep_shape(self):
+        from repro.experiments import group_mt
+
+        rows = group_mt.run(mutual_deltas_min=(2.0, 30.0))
+        tight, loose = rows
+        assert tight["triggered_fidelity_time"] >= tight[
+            "baseline_fidelity_time"
+        ] - 1e-9
+        assert tight["triggered_extra"] >= loose["triggered_extra"]
+        out = group_mt.render(rows)
+        assert "n-object" in out
+
+    def test_limd_ablation_rows(self):
+        from repro.experiments.ablations import ablate_limd_parameters
+
+        rows = ablate_limd_parameters()
+        tunings = [row["tuning"] for row in rows]
+        assert "paper" in tunings and "optimistic" in tunings
+
+    def test_latency_ablation_rows(self):
+        from repro.experiments.ablations import ablate_latency
+
+        rows = ablate_latency(latencies=(0.0, 600.0))
+        assert rows[0]["one_way_latency_s"] == 0.0
+        assert rows[1]["latency_over_delta"] == 1.0
+        assert rows[1]["fidelity_time"] <= rows[0]["fidelity_time"]

@@ -1,0 +1,262 @@
+"""Tests for hierarchical proxy caching (ProxyCache as an upstream)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consistency.base import FixedTTRPolicy
+from repro.consistency.limd import LimdPolicy
+from repro.core.types import ObjectId, TTRBounds
+from repro.httpsim.messages import Status, conditional_get
+from repro.httpsim.network import Network
+from repro.metrics.fidelity import temporal_fidelity
+from repro.proxy.hierarchy import ProxyChain
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import UpdateFeeder, feed_traces
+from repro.sim.kernel import Kernel
+from repro.traces.model import trace_from_times
+from repro.traces.synthetic import poisson_trace
+
+X = ObjectId("x")
+
+
+def _single_proxy_stack():
+    kernel = Kernel()
+    server = OriginServer()
+    server.create_object(X, created_at=0.0)
+    proxy = ProxyCache(kernel, Network(kernel))
+    return kernel, server, proxy
+
+
+class TestProxyHandleRequest:
+    def test_unknown_object_is_404(self):
+        _kernel, _server, proxy = _single_proxy_stack()
+        response = proxy.handle_request(conditional_get(X), now=0.0)
+        assert response.status is Status.NOT_FOUND
+
+    def test_cached_object_served_with_200(self):
+        _kernel, server, proxy = _single_proxy_stack()
+        proxy.register_object(X, server, FixedTTRPolicy(ttr=100.0))
+        response = proxy.handle_request(conditional_get(X), now=1.0)
+        assert response.status is Status.OK
+        assert response.version == 0
+        assert response.last_modified == 0.0
+
+    def test_304_when_child_copy_is_current(self):
+        _kernel, server, proxy = _single_proxy_stack()
+        proxy.register_object(X, server, FixedTTRPolicy(ttr=100.0))
+        request = conditional_get(X, if_modified_since=0.0)
+        response = proxy.handle_request(request, now=1.0)
+        assert response.status is Status.NOT_MODIFIED
+
+    def test_history_reflects_only_observed_versions(self):
+        kernel, server, proxy = _single_proxy_stack()
+        proxy.register_object(X, server, FixedTTRPolicy(ttr=50.0))
+        # Three origin updates, but the proxy polls only at t=50 and
+        # t=100 — it observes the versions of t=45 and t=80; the t=10
+        # version was overwritten before any poll and stays invisible.
+        for when in (10.0, 45.0, 80.0):
+            kernel.schedule_at(
+                when, lambda k, w=when: server.apply_update(X, w)
+            )
+        kernel.run(until=100.0)
+        response = proxy.handle_request(
+            conditional_get(X, want_history=True), now=100.0
+        )
+        history = response.modification_history
+        assert history is not None
+        assert 10.0 not in history
+        assert 45.0 in history
+        assert history[-1] == 80.0
+
+    def test_downstream_counters_tracked(self):
+        _kernel, server, proxy = _single_proxy_stack()
+        proxy.register_object(X, server, FixedTTRPolicy(ttr=100.0))
+        proxy.handle_request(conditional_get(X), now=0.0)
+        proxy.handle_request(conditional_get(ObjectId("nope")), now=0.0)
+        assert proxy.counters.get("downstream_requests") == 2
+        assert proxy.counters.get("downstream_404") == 1
+
+
+class TestProxyChain:
+    def _chain(self, depth, ttl_by_level=None):
+        kernel = Kernel()
+        origin = OriginServer()
+        origin.create_object(X, created_at=0.0)
+        chain = ProxyChain(kernel, origin, depth=depth)
+        ttl_by_level = ttl_by_level or {}
+        chain.register_object(
+            X,
+            lambda level, _oid: FixedTTRPolicy(
+                ttr=ttl_by_level.get(level, 60.0)
+            ),
+        )
+        return kernel, origin, chain
+
+    def test_depth_validated(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            ProxyChain(kernel, OriginServer(), depth=0)
+
+    def test_every_level_populated_after_registration(self):
+        _kernel, _origin, chain = self._chain(depth=3)
+        for proxy in chain.proxies:
+            assert proxy.entry_for(X).populated
+
+    def test_root_and_edge_identities(self):
+        _kernel, _origin, chain = self._chain(depth=3)
+        assert chain.root is chain.proxies[0]
+        assert chain.edge is chain.proxies[2]
+        assert chain.depth == 3
+
+    def test_upstream_wiring(self):
+        _kernel, origin, chain = self._chain(depth=2)
+        assert chain.upstream_of(0) is origin
+        assert chain.upstream_of(1) is chain.proxies[0]
+
+    def test_update_propagates_level_by_level(self):
+        kernel, origin, chain = self._chain(
+            depth=2, ttl_by_level={0: 10.0, 1: 25.0}
+        )
+        kernel.schedule_at(5.0, lambda k: origin.apply_update(X, 5.0))
+        kernel.run(until=100.0)
+        root_snapshot = chain.root.entry_for(X).snapshot
+        edge_snapshot = chain.edge.entry_for(X).snapshot
+        assert root_snapshot is not None and root_snapshot.version == 1
+        assert edge_snapshot is not None and edge_snapshot.version == 1
+
+    def test_edge_staleness_bounded_by_sum_of_ttrs(self):
+        # Root refreshes every 10 s, edge every 25 s: the edge copy can
+        # be at most ~35 s behind the origin.
+        kernel, origin, chain = self._chain(
+            depth=2, ttl_by_level={0: 10.0, 1: 25.0}
+        )
+        update_time = 7.0
+        kernel.schedule_at(
+            update_time, lambda k: origin.apply_update(X, update_time)
+        )
+        # Find the first instant the edge holds version 1.
+        seen_at = []
+
+        def probe(kernel_):
+            snapshot = chain.edge.entry_for(X).snapshot
+            if snapshot and snapshot.version == 1 and not seen_at:
+                seen_at.append(kernel_.now())
+
+        for t in range(1, 100):
+            kernel.schedule_at(float(t), probe)
+        kernel.run(until=100.0)
+        assert seen_at, "edge never saw the update"
+        assert seen_at[0] - update_time <= 10.0 + 25.0 + 1.0
+
+    def test_origin_sees_only_root_polls(self):
+        kernel, origin, chain = self._chain(
+            depth=3, ttl_by_level={0: 10.0, 1: 10.0, 2: 10.0}
+        )
+        kernel.run(until=200.0)
+        root_polls = chain.root.counters.get("polls")
+        assert chain.origin_request_count() == root_polls
+        # Deeper levels never reach the origin.
+        assert (
+            chain.proxies[1].counters.get("polls")
+            + chain.proxies[2].counters.get("polls")
+            > 0
+        )
+
+    def test_polls_per_level_shapes(self):
+        kernel, _origin, chain = self._chain(depth=2)
+        kernel.run(until=120.0)
+        per_level_totals = chain.polls_per_level()
+        per_object = chain.polls_per_level(X)
+        assert len(per_level_totals) == len(per_object) == 2
+        assert per_level_totals == per_object  # only one object registered
+
+
+class TestHierarchyFidelity:
+    def test_two_level_limd_keeps_composed_bound(self):
+        """LIMD at both levels: edge out-of-sync stays within 2Δ mostly."""
+        rng = random.Random(13)
+        trace = poisson_trace(str(X), rng, 30.0 / 3600.0, end=4 * 3600.0)
+        kernel = Kernel()
+        origin = OriginServer()
+        feed_traces(kernel, origin, [trace])
+        delta = 120.0
+        chain = ProxyChain(kernel, origin, depth=2)
+        chain.register_object(
+            X,
+            lambda level, _oid: LimdPolicy(
+                delta, bounds=TTRBounds(ttr_min=delta, ttr_max=1800.0)
+            ),
+        )
+        kernel.run(until=trace.end_time)
+        poll_times = [
+            record.time for record in chain.edge.entry_for(X).fetch_log
+        ]
+        report = temporal_fidelity(trace, poll_times, 2 * delta)
+        # The composed bound is approximate (LIMD itself is best-effort)
+        # but the edge must track the origin with high time-fidelity.
+        assert report.fidelity_by_time > 0.8
+
+    def test_deep_chain_version_monotone_at_every_level(self):
+        rng = random.Random(29)
+        times = sorted(rng.uniform(0, 3600.0) for _ in range(40))
+        trace = trace_from_times(X, times, end_time=3600.0)
+        kernel = Kernel()
+        origin = OriginServer()
+        UpdateFeeder(kernel, origin, trace)
+        chain = ProxyChain(kernel, origin, depth=4)
+        chain.register_object(
+            X, lambda level, _oid: FixedTTRPolicy(ttr=30.0 + 10.0 * level)
+        )
+        kernel.run(until=3600.0)
+        for proxy in chain.proxies:
+            versions = [
+                record.snapshot.version
+                for record in proxy.entry_for(X).fetch_log
+            ]
+            assert versions == sorted(versions)
+
+
+class TestHierarchyFailureRecovery:
+    """Section 3.1's recovery story applied level-by-level."""
+
+    def test_parent_recovery_does_not_break_children(self):
+        kernel = Kernel()
+        origin = OriginServer()
+        origin.create_object(X, created_at=0.0)
+        chain = ProxyChain(kernel, origin, depth=2)
+        chain.register_object(
+            X, lambda level, _oid: FixedTTRPolicy(ttr=20.0)
+        )
+        kernel.schedule_at(30.0, lambda k: origin.apply_update(X, 30.0))
+        # Parent crashes and recovers mid-run: TTRs reset, cache kept.
+        kernel.schedule_at(
+            45.0, lambda k: chain.root.recover_from_failure()
+        )
+        kernel.run(until=120.0)
+        assert chain.root.counters.get("recoveries") == 1
+        edge_snapshot = chain.edge.entry_for(X).snapshot
+        assert edge_snapshot is not None
+        # The update still propagated through the recovered parent.
+        assert edge_snapshot.version == 1
+
+    def test_edge_recovery_resets_only_edge(self):
+        kernel = Kernel()
+        origin = OriginServer()
+        origin.create_object(X, created_at=0.0)
+        chain = ProxyChain(kernel, origin, depth=2)
+        chain.register_object(
+            X, lambda level, _oid: FixedTTRPolicy(ttr=20.0)
+        )
+        kernel.schedule_at(
+            50.0, lambda k: chain.edge.recover_from_failure()
+        )
+        kernel.run(until=100.0)
+        assert chain.edge.counters.get("recoveries") == 1
+        assert chain.root.counters.get("recoveries") == 0
+        # Both copies stay populated and serve requests.
+        for proxy in chain.proxies:
+            assert proxy.entry_for(X).populated

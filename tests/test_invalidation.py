@@ -1,0 +1,136 @@
+"""Unit tests for the server-push strong-consistency extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.invalidation import (
+    PushChannel,
+    PushConsistencyClient,
+    PushUpdateFeeder,
+)
+from repro.core.types import ObjectId
+from repro.httpsim.network import Network
+from repro.metrics.collector import collect_temporal
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.sim.kernel import Kernel
+from repro.traces.model import trace_from_times
+
+X = ObjectId("x")
+
+
+def build_push_stack(*, notify_latency=0.0):
+    kernel = Kernel()
+    server = OriginServer()
+    proxy = ProxyCache(kernel, Network(kernel))
+    channel = PushChannel(kernel, server, notify_latency=notify_latency)
+    client = PushConsistencyClient(proxy, channel)
+    return kernel, server, proxy, channel, client
+
+
+class TestPushChannel:
+    def test_subscribers_notified_on_update(self):
+        kernel, server, proxy, channel, _ = build_push_stack()
+        server.create_object(X, created_at=0.0)
+        seen = []
+        channel.subscribe(X, lambda oid, t: seen.append((oid, t)))
+        channel.apply_update(X, 5.0)
+        assert seen == [(X, 5.0)]
+        assert channel.counters.get("notifications") == 1
+
+    def test_unsubscribe_stops_notifications(self):
+        kernel, server, proxy, channel, _ = build_push_stack()
+        server.create_object(X, created_at=0.0)
+        seen = []
+        callback = lambda oid, t: seen.append(t)  # noqa: E731
+        channel.subscribe(X, callback)
+        channel.unsubscribe(X, callback)
+        channel.apply_update(X, 5.0)
+        assert seen == []
+
+    def test_notification_latency_delays_delivery(self):
+        kernel, server, proxy, channel, _ = build_push_stack(notify_latency=2.0)
+        server.create_object(X, created_at=0.0)
+        seen = []
+        channel.subscribe(X, lambda oid, t: seen.append(kernel.now()))
+        kernel.schedule_at(5.0, lambda k: channel.apply_update(X, 5.0))
+        kernel.run()
+        assert seen == [7.0]
+
+    def test_negative_latency_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            PushChannel(kernel, OriginServer(), notify_latency=-1.0)
+
+    def test_subscriber_count(self):
+        kernel, server, proxy, channel, _ = build_push_stack()
+        assert channel.subscriber_count(X) == 0
+        channel.subscribe(X, lambda oid, t: None)
+        assert channel.subscriber_count(X) == 1
+
+
+class TestPushClient:
+    def test_strong_consistency_with_zero_latency(self):
+        kernel, server, proxy, channel, client = build_push_stack()
+        trace = trace_from_times(X, [10.0, 30.0, 50.0], end_time=100.0)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=100.0)
+        # Every update reached the cache at its commit instant: the
+        # temporal out-of-sync time is zero for ANY delta.
+        report = collect_temporal(proxy, trace, delta=0.001).report
+        assert report.out_sync_time == 0.0
+        assert report.violations == 0
+        # Exactly one fetch per update plus the initial fetch.
+        assert proxy.entry_for(X).poll_count == 4
+
+    def test_push_cost_scales_with_updates_not_time(self):
+        kernel, server, proxy, channel, client = build_push_stack()
+        trace = trace_from_times(X, [10.0], end_time=100000.0)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=100000.0)
+        # One update → two polls total, regardless of the horizon.
+        assert proxy.entry_for(X).poll_count == 2
+
+    def test_duplicate_registration_rejected(self):
+        kernel, server, proxy, channel, client = build_push_stack()
+        server.create_object(X, created_at=0.0)
+        client.register_object(X)
+        with pytest.raises(ValueError):
+            client.register_object(X)
+
+    def test_deregister_stops_push_fetches(self):
+        kernel, server, proxy, channel, client = build_push_stack()
+        trace = trace_from_times(X, [10.0, 50.0], end_time=100.0)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=20.0)
+        client.deregister_object(X)
+        kernel.run(until=100.0)
+        assert client.counters.get("pushes_received") == 1
+
+    def test_cache_version_tracks_server(self):
+        kernel, server, proxy, channel, client = build_push_stack()
+        trace = trace_from_times(X, [10.0, 30.0], end_time=50.0)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=20.0)
+        assert proxy.entry_for(X).snapshot.version == 1
+        kernel.run(until=50.0)
+        assert proxy.entry_for(X).snapshot.version == 2
+
+    def test_push_with_latency_bounded_staleness(self):
+        kernel, server, proxy, channel, client = build_push_stack(
+            notify_latency=1.5
+        )
+        trace = trace_from_times(X, [10.0, 30.0], end_time=60.0)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=60.0)
+        # Staleness is exactly the notification latency per update.
+        report = collect_temporal(proxy, trace, delta=2.0).report
+        assert report.out_sync_time == 0.0
+        report_tight = collect_temporal(proxy, trace, delta=1.0).report
+        assert report_tight.out_sync_time == pytest.approx(2 * 0.5)

@@ -1,0 +1,197 @@
+"""Unit tests for n-object group mutual-consistency metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.types import ObjectId
+from repro.metrics.group import (
+    group_interval_spread,
+    group_mutually_consistent_at,
+    group_temporal_fidelity,
+)
+from repro.traces.model import trace_from_times
+
+A, B, C = ObjectId("a"), ObjectId("b"), ObjectId("c")
+
+
+def t_trace(oid, times, end=1000.0):
+    return trace_from_times(oid, times, start_time=0.0, end_time=end)
+
+
+class TestGroupIntervalSpread:
+    def test_common_overlap_is_zero(self):
+        intervals = [(0.0, 10.0), (5.0, 15.0), (8.0, 20.0)]
+        assert group_interval_spread(intervals) == 0.0
+
+    def test_spread_is_latest_start_minus_earliest_end(self):
+        intervals = [(0.0, 10.0), (25.0, 30.0), (5.0, 40.0)]
+        assert group_interval_spread(intervals) == 15.0
+
+    def test_single_interval_is_zero(self):
+        assert group_interval_spread([(3.0, 7.0)]) == 0.0
+
+    def test_pairwise_reduces_to_interval_gap(self):
+        from repro.metrics.mutual import interval_gap
+
+        a, b = (0.0, 10.0), (25.0, 30.0)
+        assert group_interval_spread([a, b]) == interval_gap(a, b)
+
+    def test_open_ended_intervals(self):
+        intervals = [(0.0, math.inf), (100.0, math.inf)]
+        assert group_interval_spread(intervals) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            group_interval_spread([])
+
+
+class TestGroupConsistentAt:
+    def test_three_way_consistency(self):
+        traces = {
+            A: t_trace(A, [10.0, 50.0]),
+            B: t_trace(B, [12.0, 60.0]),
+            C: t_trace(C, [15.0, 55.0]),
+        }
+        # All cached versions from the first wave: validity intervals
+        # [10,50), [12,60), [15,55) — common overlap.
+        origins = {A: 10.0, B: 12.0, C: 15.0}
+        assert group_mutually_consistent_at(traces, origins, 0.0)
+
+    def test_one_straggler_breaks_group(self):
+        traces = {
+            A: t_trace(A, [10.0, 20.0]),
+            B: t_trace(B, [12.0, 60.0]),
+            C: t_trace(C, [50.0]),
+        }
+        # a's cached version [10,20) vs c's [50,inf): spread 30.
+        origins = {A: 10.0, B: 12.0, C: 50.0}
+        assert not group_mutually_consistent_at(traces, origins, 10.0)
+        assert group_mutually_consistent_at(traces, origins, 30.0)
+
+
+class TestGroupTemporalFidelity:
+    def test_synchronized_group_is_clean(self):
+        traces = {
+            A: t_trace(A, [25.0], end=100.0),
+            B: t_trace(B, [25.0], end=100.0),
+            C: t_trace(C, [25.0], end=100.0),
+        }
+        fetches = {
+            oid: [(0.0, 0.0), (30.0, 25.0)] for oid in (A, B, C)
+        }
+        report = group_temporal_fidelity(traces, fetches, delta=0.0)
+        assert report.violations == 0
+        assert report.out_sync_time == 0.0
+        assert report.polls == 6
+
+    def test_stale_member_counts_violations_and_time(self):
+        traces = {
+            A: t_trace(A, [25.0], end=100.0),
+            B: t_trace(B, [20.0], end=100.0),
+        }
+        fetches = {
+            A: [(0.0, 0.0), (30.0, 25.0)],
+            B: [(0.0, 0.0)],  # never refreshed after b's update
+        }
+        report = group_temporal_fidelity(traces, fetches, delta=2.0)
+        assert report.violations == 1
+        assert report.out_sync_time == pytest.approx(70.0)
+
+    def test_matches_pairwise_metric_for_two_objects(self):
+        from repro.metrics.mutual import mutual_temporal_fidelity
+
+        traces = {
+            A: t_trace(A, [25.0, 70.0], end=100.0),
+            B: t_trace(B, [20.0, 80.0], end=100.0),
+        }
+        fetches = {
+            A: [(0.0, 0.0), (30.0, 25.0), (75.0, 70.0)],
+            B: [(0.0, 0.0), (50.0, 20.0)],
+        }
+        group_report = group_temporal_fidelity(traces, fetches, delta=5.0)
+        pair_report = mutual_temporal_fidelity(
+            traces[A], traces[B], fetches[A], fetches[B], 5.0
+        )
+        assert group_report.violations == pair_report.violations
+        assert group_report.out_sync_time == pytest.approx(
+            pair_report.out_sync_time
+        )
+
+    def test_mismatched_keys_rejected(self):
+        traces = {A: t_trace(A, []), B: t_trace(B, [])}
+        with pytest.raises(ValueError, match="same objects"):
+            group_temporal_fidelity(traces, {A: []}, delta=1.0)
+
+    def test_single_member_rejected(self):
+        with pytest.raises(ValueError, match="two members"):
+            group_temporal_fidelity(
+                {A: t_trace(A, [])}, {A: []}, delta=1.0
+            )
+
+    def test_negative_delta_rejected(self):
+        traces = {A: t_trace(A, []), B: t_trace(B, [])}
+        with pytest.raises(ValueError):
+            group_temporal_fidelity(traces, {A: [], B: []}, delta=-1.0)
+
+
+class TestPartitionedGroupCoordinator:
+    def test_three_member_group_maintains_pairwise_budget(self):
+        from repro.consistency.mutual_value import (
+            PartitionedGroupMvCoordinator,
+            PartitionParameters,
+        )
+        from repro.core.types import TTRBounds
+        from repro.httpsim.network import Network
+        from repro.proxy.proxy import ProxyCache
+        from repro.server.origin import OriginServer
+        from repro.server.updates import UpdateFeeder
+        from repro.sim.kernel import Kernel
+        from repro.traces.model import trace_from_ticks
+
+        kernel = Kernel()
+        server = OriginServer()
+        proxy = ProxyCache(kernel, Network(kernel))
+        members = (A, B, C)
+        rates = {A: 0.5, B: 2.0, C: 8.0}
+        for oid in members:
+            ticks = [
+                (5.0 + 10.0 * i, rates[oid] * i) for i in range(25)
+            ]
+            UpdateFeeder(
+                kernel, server,
+                trace_from_ticks(oid, ticks, end_time=300.0),
+            )
+        delta = 3.0
+        coordinator = PartitionedGroupMvCoordinator(
+            proxy, members, delta,
+            bounds=TTRBounds(ttr_min=1.0, ttr_max=50.0),
+            parameters=PartitionParameters(reapportion_interval=30.0),
+        )
+        coordinator.setup({oid: server for oid in members})
+        kernel.run(until=300.0)
+
+        assert coordinator.counters.get("reapportionments") > 0
+        tolerances = coordinator.current_tolerances()
+        # Slower objects earn larger tolerances.
+        assert tolerances[A] > tolerances[B] > tolerances[C]
+        # Pairwise budget: the two largest tolerances sum to <= delta
+        # (small slack for the min-fraction floor).
+        assert coordinator.max_pair_tolerance_sum() <= delta * 1.05
+
+    def test_duplicate_members_rejected(self):
+        from repro.consistency.mutual_value import PartitionedGroupMvCoordinator
+        from repro.core.errors import PolicyConfigurationError
+        from repro.core.types import TTRBounds
+        from repro.httpsim.network import Network
+        from repro.proxy.proxy import ProxyCache
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        proxy = ProxyCache(kernel, Network(kernel))
+        with pytest.raises(PolicyConfigurationError):
+            PartitionedGroupMvCoordinator(
+                proxy, (A, A), 1.0, bounds=TTRBounds(ttr_min=1.0, ttr_max=10.0)
+            )

@@ -1,0 +1,414 @@
+"""Unit tests for the proxy cache, refresher, and client path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.base import FixedTTRPolicy, PassivePolicy
+from repro.core.errors import CacheConfigurationError, UnknownObjectError
+from repro.core.events import PollEvent, PollReason
+from repro.core.types import ObjectId
+from repro.httpsim.network import LatencyModel, Network
+from repro.proxy.cache import EvictionPolicy, ObjectCache
+from repro.proxy.client import Client
+from repro.proxy.entry import CacheEntry
+from repro.proxy.proxy import ProxyCache
+from repro.server.origin import OriginServer
+from repro.server.updates import UpdateFeeder
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import EventLog
+from repro.traces.model import trace_from_times
+
+
+def build_stack(*, want_history=True, triggered_reschedule=False):
+    kernel = Kernel()
+    server = OriginServer()
+    log = EventLog()
+    proxy = ProxyCache(
+        kernel,
+        Network(kernel),
+        want_history=want_history,
+        event_log=log,
+        triggered_polls_reschedule=triggered_reschedule,
+    )
+    return kernel, server, proxy, log
+
+
+class TestCacheEntry:
+    def test_record_fetch_updates_snapshot(self):
+        from repro.core.types import ObjectSnapshot
+
+        entry = CacheEntry(ObjectId("x"))
+        assert not entry.populated
+        snap = ObjectSnapshot(ObjectId("x"), version=1, last_modified=5.0)
+        entry.record_fetch(10.0, snap, modified=True, reason=PollReason.INITIAL_FETCH)
+        assert entry.populated
+        assert entry.snapshot is snap
+        assert entry.poll_count == 1
+        assert entry.last_poll_time == 10.0
+        assert entry.cached_version_origin == 5.0
+
+    def test_fetches_must_be_time_ordered(self):
+        from repro.core.types import ObjectSnapshot
+
+        entry = CacheEntry(ObjectId("x"))
+        snap = ObjectSnapshot(ObjectId("x"), version=1, last_modified=5.0)
+        entry.record_fetch(10.0, snap, modified=True, reason=PollReason.INITIAL_FETCH)
+        with pytest.raises(ValueError):
+            entry.record_fetch(9.0, snap, modified=False, reason=PollReason.TTR_EXPIRED)
+
+    def test_known_modification_times_dedupes_304_revalidations(self):
+        from repro.core.types import ObjectSnapshot
+
+        entry = CacheEntry(ObjectId("x"))
+        v1 = ObjectSnapshot(ObjectId("x"), version=1, last_modified=5.0)
+        v2 = ObjectSnapshot(ObjectId("x"), version=2, last_modified=30.0)
+        entry.record_fetch(10.0, v1, modified=True, reason=PollReason.INITIAL_FETCH)
+        # A 304 revalidation re-records the same snapshot.
+        entry.record_fetch(20.0, v1, modified=False, reason=PollReason.TTR_EXPIRED)
+        entry.record_fetch(40.0, v2, modified=True, reason=PollReason.TTR_EXPIRED)
+        assert entry.known_modification_times() == [5.0, 30.0]
+
+    def test_known_modification_times_empty_before_fetches(self):
+        entry = CacheEntry(ObjectId("x"))
+        assert entry.known_modification_times() == []
+
+
+class TestObjectCache:
+    def test_unbounded_by_default(self):
+        cache = ObjectCache()
+        for i in range(1000):
+            cache.put(CacheEntry(ObjectId(f"o{i}")))
+        assert len(cache) == 1000
+        assert cache.eviction_count == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ObjectCache(capacity=2, eviction=EvictionPolicy.LRU)
+        cache.put(CacheEntry(ObjectId("a")))
+        cache.put(CacheEntry(ObjectId("b")))
+        cache.get(ObjectId("a"))  # touch a → b is LRU
+        evicted = cache.put(CacheEntry(ObjectId("c")))
+        assert evicted is not None and evicted.object_id == ObjectId("b")
+        assert ObjectId("a") in cache and ObjectId("c") in cache
+
+    def test_lfu_evicts_least_frequently_used(self):
+        cache = ObjectCache(capacity=2, eviction=EvictionPolicy.LFU)
+        cache.put(CacheEntry(ObjectId("a")))
+        cache.put(CacheEntry(ObjectId("b")))
+        for _ in range(3):
+            cache.get(ObjectId("a"))
+        cache.get(ObjectId("b"))
+        evicted = cache.put(CacheEntry(ObjectId("c")))
+        assert evicted is not None and evicted.object_id == ObjectId("b")
+
+    def test_get_or_create(self):
+        cache = ObjectCache()
+        entry = cache.get_or_create(ObjectId("x"))
+        assert cache.get_or_create(ObjectId("x")) is entry
+
+    def test_remove(self):
+        cache = ObjectCache()
+        cache.put(CacheEntry(ObjectId("x")))
+        removed = cache.remove(ObjectId("x"))
+        assert removed is not None
+        assert cache.remove(ObjectId("x")) is None
+
+    def test_put_same_id_replaces_without_eviction(self):
+        cache = ObjectCache(capacity=1)
+        cache.put(CacheEntry(ObjectId("x")))
+        assert cache.put(CacheEntry(ObjectId("x"))) is None
+        assert cache.eviction_count == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(CacheConfigurationError):
+            ObjectCache(capacity=0)
+
+
+class TestProxyPolling:
+    def test_registration_does_initial_fetch(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"), created_at=0.0)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        entry = proxy.entry_for(ObjectId("x"))
+        assert entry.populated
+        assert entry.snapshot.version == 0
+        assert proxy.counters.get("polls") == 1
+
+    def test_ttr_driven_refresh_sees_updates(self):
+        kernel, server, proxy, _ = build_stack()
+        trace = trace_from_times(ObjectId("x"), [15.0], end_time=100.0)
+        UpdateFeeder(kernel, server, trace)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        kernel.run(until=100.0)
+        entry = proxy.entry_for(ObjectId("x"))
+        assert entry.snapshot.version == 1
+        # Initial fetch + polls at 10,20,...,100.
+        assert entry.poll_count == 11
+
+    def test_304_keeps_snapshot(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"), created_at=0.0)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        kernel.run(until=30.0)
+        entry = proxy.entry_for(ObjectId("x"))
+        assert entry.snapshot.version == 0
+        assert all(not r.modified for r in entry.fetch_log[1:])
+
+    def test_poll_outcome_history_fields(self):
+        kernel, server, proxy, _ = build_stack(want_history=True)
+        trace = trace_from_times(ObjectId("x"), [3.0, 5.0, 7.0], end_time=100.0)
+        UpdateFeeder(kernel, server, trace)
+        seen = []
+
+        class Observer:
+            def on_poll_complete(self, object_id, outcome):
+                seen.append(outcome)
+
+        proxy.add_observer(Observer())
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        kernel.run(until=10.0)
+        modified = [o for o in seen if o.modified and o.poll_time == 10.0]
+        assert len(modified) == 1
+        assert modified[0].first_unseen_update == 3.0
+        assert modified[0].updates_since_last_poll == 3
+
+    def test_no_history_when_disabled(self):
+        kernel, server, proxy, _ = build_stack(want_history=False)
+        trace = trace_from_times(ObjectId("x"), [3.0], end_time=100.0)
+        UpdateFeeder(kernel, server, trace)
+        seen = []
+
+        class Observer:
+            def on_poll_complete(self, object_id, outcome):
+                seen.append(outcome)
+
+        proxy.add_observer(Observer())
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        kernel.run(until=10.0)
+        modified = [o for o in seen if o.modified and o.poll_time > 0]
+        assert modified and modified[0].first_unseen_update is None
+
+    def test_duplicate_registration_rejected(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"))
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        with pytest.raises(CacheConfigurationError):
+            proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+
+    def test_deregister_stops_polling(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"))
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        proxy.deregister_object(ObjectId("x"))
+        kernel.run(until=100.0)
+        assert proxy.entry_for(ObjectId("x")).poll_count == 1  # initial only
+
+    def test_deregister_unknown_rejected(self):
+        kernel, server, proxy, _ = build_stack()
+        with pytest.raises(UnknownObjectError):
+            proxy.deregister_object(ObjectId("nope"))
+
+    def test_passive_policy_never_schedules(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"))
+        proxy.register_object(ObjectId("x"), server, PassivePolicy())
+        kernel.run(until=1000.0)
+        assert proxy.entry_for(ObjectId("x")).poll_count == 1
+
+    def test_poll_events_logged_with_ttr(self):
+        kernel, server, proxy, log = build_stack()
+        server.create_object(ObjectId("x"))
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        kernel.run(until=25.0)
+        events = log.of_type(PollEvent)
+        assert len(events) == 3
+        assert events[0].reason is PollReason.INITIAL_FETCH
+        assert events[1].reason is PollReason.TTR_EXPIRED
+        assert events[1].ttr_after == 10.0
+
+
+class TestTriggeredPolls:
+    def _setup(self, reschedule):
+        kernel, server, proxy, _ = build_stack(triggered_reschedule=reschedule)
+        server.create_object(ObjectId("x"), created_at=0.0)
+        refresher = proxy.register_object(
+            ObjectId("x"), server, FixedTTRPolicy(ttr=10.0)
+        )
+        return kernel, proxy, refresher
+
+    def test_additional_mode_keeps_schedule(self):
+        kernel, proxy, refresher = self._setup(reschedule=False)
+        kernel.schedule_at(
+            5.0,
+            lambda k: proxy.trigger_poll(
+                ObjectId("x"), reason=PollReason.MUTUAL_TRIGGER
+            ),
+        )
+        kernel.run(until=12.0)
+        entry = proxy.entry_for(ObjectId("x"))
+        # initial(0) + trigger(5) + scheduled(10): schedule unchanged.
+        assert [r.time for r in entry.fetch_log] == [0.0, 5.0, 10.0]
+
+    def test_reschedule_mode_shifts_schedule(self):
+        kernel, proxy, refresher = self._setup(reschedule=True)
+        kernel.schedule_at(
+            5.0,
+            lambda k: proxy.trigger_poll(
+                ObjectId("x"), reason=PollReason.MUTUAL_TRIGGER
+            ),
+        )
+        kernel.run(until=16.0)
+        entry = proxy.entry_for(ObjectId("x"))
+        # initial(0) + trigger(5) + next at 15 (5+10).
+        assert [r.time for r in entry.fetch_log] == [0.0, 5.0, 15.0]
+
+    def test_triggered_poll_updates_last_poll_time(self):
+        kernel, proxy, refresher = self._setup(reschedule=False)
+        kernel.schedule_at(
+            5.0,
+            lambda k: proxy.trigger_poll(
+                ObjectId("x"), reason=PollReason.MUTUAL_TRIGGER
+            ),
+        )
+        kernel.run(until=6.0)
+        assert refresher.last_poll_time == 5.0
+
+
+class TestClientPath:
+    def test_hit_serves_cached_snapshot(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"), created_at=0.0)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        client = Client(kernel, proxy)
+        snapshot = client.request(ObjectId("x"))
+        assert snapshot.version == 0
+        assert client.counters.get("hits") == 1
+        assert client.hit_ratio == 1.0
+
+    def test_miss_fetches_and_populates(self):
+        kernel, server, proxy, _ = build_stack()
+        server.create_object(ObjectId("x"), created_at=0.0)
+        proxy.bind_server(ObjectId("x"), server)
+        client = Client(kernel, proxy)
+        snapshot = client.request(ObjectId("x"))
+        assert snapshot.version == 0
+        assert client.counters.get("misses") == 1
+        # Second request hits.
+        client.request(ObjectId("x"))
+        assert client.counters.get("hits") == 1
+
+    def test_request_for_unbound_object_rejected(self):
+        kernel, server, proxy, _ = build_stack()
+        client = Client(kernel, proxy)
+        with pytest.raises(UnknownObjectError):
+            client.request(ObjectId("nope"))
+
+    def test_versions_served_monotonic(self):
+        """Section 2: versions served to clients never go backwards."""
+        kernel, server, proxy, _ = build_stack()
+        trace = trace_from_times(
+            ObjectId("x"), [5.0, 15.0, 25.0], end_time=100.0
+        )
+        UpdateFeeder(kernel, server, trace)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        client = Client(kernel, proxy)
+        for t in range(0, 60, 3):
+            kernel.schedule_at(float(t), lambda k: client.request(ObjectId("x")))
+        kernel.run(until=100.0)
+        versions = client.versions_served(ObjectId("x"))
+        assert versions == sorted(versions)
+
+
+class TestLatencyIntegration:
+    def test_polls_complete_after_round_trip(self):
+        kernel = Kernel()
+        server = OriginServer()
+        proxy = ProxyCache(kernel, Network(kernel, LatencyModel(one_way=1.0)))
+        server.create_object(ObjectId("x"), created_at=0.0)
+        proxy.register_object(ObjectId("x"), server, FixedTTRPolicy(ttr=10.0))
+        # The initial fetch is in flight; entry exists but is empty.
+        assert not proxy.entry_for(ObjectId("x")).populated
+        kernel.run(until=3.0)
+        assert proxy.entry_for(ObjectId("x")).populated
+        # Fetch completed at t=2 (1s each way).
+        assert proxy.entry_for(ObjectId("x")).last_poll_time == 2.0
+
+
+class TestOutOfOrderResponses:
+    """Jittered latency can deliver poll responses out of order; the
+    cached version must never regress (paper Section 2: P_t increases
+    monotonically)."""
+
+    class _ScriptedRandom:
+        """random.Random stand-in returning scripted uniform() samples."""
+
+        def __init__(self, values):
+            self._values = iter(values)
+
+        def uniform(self, _a, _b):
+            return next(self._values)
+
+    def test_overtaken_response_does_not_regress_version(self):
+        kernel = Kernel()
+        server = OriginServer()
+        X = ObjectId("x")
+        server.create_object(X, created_at=0.0)
+        # Poll A at t=50: forward +4 (→9 s, server at 59), back −4 (→1 s,
+        # arrives 60).  Poll B at t=50.5: forward −4 (→1 s, server at
+        # 51.5), back +4 (→9 s, arrives 60.5).  The server updates at 55,
+        # so A carries v1 and the later-arriving B carries v0.
+        net = Network(
+            kernel,
+            LatencyModel(one_way=5.0, jitter=4.0),
+            rng=self._ScriptedRandom([4.0, -4.0, 4.0, -4.0]),
+        )
+        proxy = ProxyCache(kernel, net)
+        proxy.register_object(
+            X, server, FixedTTRPolicy(ttr=1000.0), initial_fetch=False
+        )
+        kernel.schedule_at(55.0, lambda k: server.apply_update(X, 55.0))
+        for when in (50.0, 50.5):
+            kernel.schedule_at(
+                when,
+                lambda k: proxy.trigger_poll(
+                    X, reason=PollReason.MUTUAL_TRIGGER
+                ),
+            )
+        kernel.run(until=200.0)
+
+        snapshot = proxy.entry_for(X).snapshot
+        assert snapshot is not None and snapshot.version == 1
+        assert proxy.counters.get("stale_responses") == 1
+        versions = [
+            record.snapshot.version
+            for record in proxy.entry_for(X).fetch_log
+        ]
+        assert versions == sorted(versions)
+
+    def test_stale_response_counts_as_revalidation(self):
+        kernel = Kernel()
+        server = OriginServer()
+        X = ObjectId("x")
+        server.create_object(X, created_at=0.0)
+        net = Network(
+            kernel,
+            LatencyModel(one_way=5.0, jitter=4.0),
+            rng=self._ScriptedRandom([4.0, -4.0, 4.0, -4.0]),
+        )
+        proxy = ProxyCache(kernel, net)
+        proxy.register_object(
+            X, server, FixedTTRPolicy(ttr=1000.0), initial_fetch=False
+        )
+        kernel.schedule_at(55.0, lambda k: server.apply_update(X, 55.0))
+        for when in (50.0, 50.5):
+            kernel.schedule_at(
+                when,
+                lambda k: proxy.trigger_poll(
+                    X, reason=PollReason.MUTUAL_TRIGGER
+                ),
+            )
+        kernel.run(until=200.0)
+        log = proxy.entry_for(X).fetch_log
+        # The overtaken response is recorded as a non-modified fetch of
+        # the (newer) cached copy — the 304 semantics.
+        assert [record.modified for record in log] == [True, False]

@@ -1,0 +1,153 @@
+"""Unit tests for simulation statistics primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, SummaryStats, TimeWeightedValue
+
+
+class TestCounter:
+    def test_increment_and_get(self):
+        counter = Counter()
+        assert counter.get("polls") == 0
+        counter.increment("polls")
+        counter.increment("polls", 2)
+        assert counter.get("polls") == 3
+
+    def test_negative_increment_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.increment("polls", -1)
+
+    def test_as_dict_is_a_copy(self):
+        counter = Counter()
+        counter.increment("a")
+        snapshot = counter.as_dict()
+        snapshot["a"] = 99
+        assert counter.get("a") == 1
+
+    def test_iteration_and_len(self):
+        counter = Counter()
+        counter.increment("a")
+        counter.increment("b")
+        assert sorted(counter) == ["a", "b"]
+        assert len(counter) == 2
+
+
+class TestTimeWeightedValue:
+    def test_constant_signal_integral(self):
+        signal = TimeWeightedValue(start=0.0, initial=2.0)
+        assert signal.integral(10.0) == pytest.approx(20.0)
+
+    def test_step_changes_accumulate_area(self):
+        signal = TimeWeightedValue(start=0.0, initial=0.0)
+        signal.set(5.0, 1.0)   # 0 for [0,5)
+        signal.set(8.0, 0.0)   # 1 for [5,8)
+        assert signal.integral(10.0) == pytest.approx(3.0)
+
+    def test_mean_is_time_weighted(self):
+        signal = TimeWeightedValue(start=0.0, initial=4.0)
+        signal.set(5.0, 0.0)
+        assert signal.mean(10.0) == pytest.approx(2.0)
+
+    def test_query_does_not_mutate(self):
+        signal = TimeWeightedValue(start=0.0, initial=1.0)
+        assert signal.integral(4.0) == pytest.approx(4.0)
+        assert signal.integral(4.0) == pytest.approx(4.0)
+        signal.set(10.0, 0.0)
+        assert signal.integral(10.0) == pytest.approx(10.0)
+
+    def test_time_going_backwards_rejected(self):
+        signal = TimeWeightedValue(start=5.0)
+        with pytest.raises(ValueError):
+            signal.set(4.0, 1.0)
+        with pytest.raises(ValueError):
+            signal.integral(4.0)
+
+
+class TestSummaryStats:
+    def test_mean_min_max(self):
+        stats = SummaryStats()
+        for x in (2.0, 4.0, 6.0):
+            stats.observe(x)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.count == 3
+
+    def test_variance_matches_population_formula(self):
+        stats = SummaryStats()
+        data = [1.0, 2.0, 3.0, 4.0]
+        for x in data:
+            stats.observe(x)
+        mean = sum(data) / len(data)
+        expected = sum((x - mean) ** 2 for x in data) / len(data)
+        assert stats.variance == pytest.approx(expected)
+        assert stats.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_single_observation_has_zero_variance(self):
+        stats = SummaryStats()
+        stats.observe(5.0)
+        assert stats.variance == 0.0
+
+    def test_empty_min_rejected(self):
+        stats = SummaryStats()
+        with pytest.raises(ValueError):
+            _ = stats.minimum
+
+    def test_non_finite_observation_rejected(self):
+        stats = SummaryStats()
+        with pytest.raises(ValueError):
+            stats.observe(math.inf)
+
+    def test_snapshot_of_empty(self):
+        snap = SummaryStats().snapshot()
+        assert snap.count == 0
+        assert math.isnan(snap.minimum)
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = SummaryStats()
+        stats.observe(1.0)
+        snap = stats.snapshot()
+        stats.observe(100.0)
+        assert snap.maximum == 1.0
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_bins(self):
+        hist = Histogram(0.0, 10.0, bins=5)
+        for x in (0.5, 2.5, 4.5, 6.5, 8.5):
+            hist.observe(x)
+        assert hist.counts == [1, 1, 1, 1, 1]
+
+    def test_underflow_and_overflow_clamped(self):
+        hist = Histogram(0.0, 10.0, bins=2)
+        hist.observe(-5.0)
+        hist.observe(15.0)
+        assert hist.counts == [1, 1]
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 2
+
+    def test_boundary_value_goes_to_upper_bin(self):
+        hist = Histogram(0.0, 10.0, bins=2)
+        hist.observe(5.0)
+        assert hist.counts == [0, 1]
+
+    def test_high_edge_counts_as_overflow(self):
+        hist = Histogram(0.0, 10.0, bins=2)
+        hist.observe(10.0)
+        assert hist.overflow == 1
+
+    def test_bin_edges(self):
+        hist = Histogram(0.0, 10.0, bins=4)
+        assert hist.bin_edges() == [0.0, 2.5, 5.0, 7.5, 10.0]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 10.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram(10.0, 0.0, bins=2)

@@ -1,0 +1,151 @@
+"""Unit tests for the generic synthetic workload builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import ObjectId
+from repro.traces.synthetic import (
+    FollowerSpec,
+    correlated_group_traces,
+    poisson_trace,
+    poisson_update_times,
+    random_walk_trace,
+)
+
+
+class TestPoisson:
+    def test_rate_roughly_matched(self, rng):
+        times = poisson_update_times(rng, rate=0.1, end=100000.0)
+        assert len(times) == pytest.approx(10000, rel=0.05)
+
+    def test_times_inside_window_and_sorted(self, rng):
+        times = poisson_update_times(rng, rate=0.5, start=100.0, end=200.0)
+        assert all(100.0 < t < 200.0 for t in times)
+        assert times == sorted(times)
+
+    def test_invalid_window_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_update_times(rng, rate=1.0, start=10.0, end=10.0)
+
+    def test_invalid_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_update_times(rng, rate=0.0, end=10.0)
+
+    def test_poisson_trace_wrapping(self, rng):
+        trace = poisson_trace("obj", rng, rate=0.05, end=10000.0)
+        assert trace.object_id == ObjectId("obj")
+        assert trace.start_time == 0.0
+        assert trace.end_time == 10000.0
+        assert trace.metadata.source == "synthetic:poisson"
+
+
+class TestCorrelatedGroup:
+    def _build(self, rng, join=0.5, max_lag=30.0):
+        followers = [
+            FollowerSpec("img", join_probability=join, max_lag=max_lag),
+            FollowerSpec("clip", join_probability=join / 2, max_lag=max_lag),
+        ]
+        return correlated_group_traces(
+            "page", followers, rng, burst_rate=1 / 600.0, end=7 * 24 * 3600.0
+        )
+
+    def test_all_members_present(self, rng):
+        traces = self._build(rng)
+        assert set(traces) == {
+            ObjectId("page"), ObjectId("img"), ObjectId("clip")
+        }
+
+    def test_leader_updates_most(self, rng):
+        traces = self._build(rng)
+        assert (
+            traces[ObjectId("page")].update_count
+            >= traces[ObjectId("img")].update_count
+            >= traces[ObjectId("clip")].update_count
+        )
+
+    def test_join_probability_respected(self, rng):
+        traces = self._build(rng, join=0.5)
+        ratio = (
+            traces[ObjectId("img")].update_count
+            / traces[ObjectId("page")].update_count
+        )
+        assert ratio == pytest.approx(0.5, abs=0.1)
+
+    def test_follower_updates_lag_bursts(self, rng):
+        traces = self._build(rng, join=1.0, max_lag=30.0)
+        page_times = [r.time for r in traces[ObjectId("page")].records]
+        for record in traces[ObjectId("img")].records:
+            nearest = min(abs(record.time - t) for t in page_times)
+            assert nearest <= 30.0 + 1e-9
+
+    def test_zero_lag_is_simultaneous(self, rng):
+        followers = [FollowerSpec("img", join_probability=1.0, max_lag=0.0)]
+        traces = correlated_group_traces(
+            "page", followers, rng, burst_rate=1 / 100.0, end=10000.0
+        )
+        page_times = {r.time for r in traces[ObjectId("page")].records}
+        img_times = {r.time for r in traces[ObjectId("img")].records}
+        assert img_times <= page_times
+
+    def test_invalid_follower_spec_rejected(self):
+        with pytest.raises(ValueError):
+            FollowerSpec("x", join_probability=1.5)
+        with pytest.raises(ValueError):
+            FollowerSpec("x", join_probability=0.5, max_lag=-1.0)
+
+
+class TestRandomWalk:
+    def test_regular_tick_spacing(self, rng):
+        trace = random_walk_trace(
+            "w", rng, tick_interval=5.0, end=100.0
+        )
+        times = [r.time for r in trace.records]
+        assert times == [5.0 * i for i in range(1, len(times) + 1)]
+
+    def test_values_present_and_finite(self, rng):
+        trace = random_walk_trace("w", rng, tick_interval=1.0, end=500.0)
+        assert trace.has_values
+        assert all(abs(r.value) < 1e6 for r in trace.records)
+
+    def test_mean_reversion_bounds_excursions(self):
+        wild = random_walk_trace(
+            "a", random.Random(5), tick_interval=1.0, end=20000.0,
+            step_sigma=1.0, mean_reversion=0.0,
+        )
+        tame = random_walk_trace(
+            "b", random.Random(5), tick_interval=1.0, end=20000.0,
+            step_sigma=1.0, mean_reversion=0.1,
+        )
+        def spread(trace):
+            values = [r.value for r in trace.records]
+            return max(values) - min(values)
+        assert spread(tame) < spread(wild)
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_walk_trace("w", rng, tick_interval=0.0, end=10.0)
+        with pytest.raises(ValueError):
+            random_walk_trace(
+                "w", rng, tick_interval=1.0, end=10.0, mean_reversion=1.0
+            )
+
+
+class TestPropertyRoundTrips:
+    def test_csv_round_trip_of_synthetic_traces(self, rng):
+        from repro.traces.io import trace_from_csv_string, trace_to_csv_string
+
+        for maker in (
+            lambda: poisson_trace("p", rng, rate=0.01, end=5000.0),
+            lambda: random_walk_trace("w", rng, tick_interval=7.0, end=5000.0),
+        ):
+            trace = maker()
+            back = trace_from_csv_string(
+                trace_to_csv_string(trace), str(trace.object_id),
+                start_time=trace.start_time, end_time=trace.end_time,
+            )
+            assert [(r.time, r.version, r.value) for r in back.records] == [
+                (r.time, r.version, r.value) for r in trace.records
+            ]

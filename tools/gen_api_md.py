@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate ``docs/API.md`` from the package's docstrings.
+
+Walks every ``repro`` submodule and emits one line per public class or
+function (defined in that module, not re-exported) with the first line
+of its docstring.  Run from the repository root::
+
+    python tools/gen_api_md.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import repro
+
+OUTPUT = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    return doc.splitlines()[0].rstrip()
+
+
+def public_items(module, module_name: str):
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        obj = vars(module)[name]
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue
+        kind = "class" if inspect.isclass(obj) else "def"
+        yield kind, name, first_line(obj)
+
+
+def generate() -> str:
+    lines = [
+        "# API reference",
+        "",
+        "One line per public item, generated from docstrings",
+        "(`python tools/gen_api_md.py` regenerates this file).",
+        "",
+    ]
+    modules = sorted(
+        pkgutil.walk_packages(repro.__path__, prefix="repro."),
+        key=lambda info: info.name,
+    )
+    for info in modules:
+        if info.name.endswith("__main__"):
+            continue
+        module = importlib.import_module(info.name)
+        items = list(public_items(module, info.name))
+        if not items:
+            continue
+        lines.append(f"## `{info.name}`")
+        lines.append("")
+        summary = first_line(module)
+        if summary:
+            lines.append(summary)
+            lines.append("")
+        for kind, name, doc in items:
+            lines.append(f"- **{kind} `{name}`** — {doc}")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    OUTPUT.write_text(generate())
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()
