@@ -14,12 +14,15 @@ positioning the paper argues for:
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.consistency.base import fixed_policy_factory
 from repro.consistency.limd import limd_policy_factory
 from repro.consistency.ttl import alex_policy_factory, static_ttl_policy_factory
 from repro.core.types import MINUTE
 from repro.experiments.render import render_dict_rows
 from repro.experiments.runner import run_individual
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import news_trace
 from repro.metrics.collector import collect_temporal
 
@@ -27,28 +30,37 @@ DELTA = 10 * MINUTE
 TTR_MAX = 60 * MINUTE
 
 
-def _evaluate_all():
-    trace = news_trace("cnn_fn")
-    policies = {
-        "baseline": fixed_policy_factory(DELTA),
-        "static_ttl": static_ttl_policy_factory(DELTA),
-        "alex": alex_policy_factory(ttr_min=DELTA, ttr_max=TTR_MAX),
-        "limd": limd_policy_factory(DELTA, ttr_max=TTR_MAX),
+POLICY_NAMES = ("baseline", "static_ttl", "alex", "limd")
+
+
+def _make_factory(name):
+    # Factories are closures (not picklable), so workers rebuild them
+    # from the policy name rather than receiving them bound.
+    return {
+        "baseline": lambda: fixed_policy_factory(DELTA),
+        "static_ttl": lambda: static_ttl_policy_factory(DELTA),
+        "alex": lambda: alex_policy_factory(ttr_min=DELTA, ttr_max=TTR_MAX),
+        "limd": lambda: limd_policy_factory(DELTA, ttr_max=TTR_MAX),
+    }[name]()
+
+
+def _policy_row(name, *, trace):
+    result = run_individual([trace], _make_factory(name))
+    report = collect_temporal(result.proxy, trace, DELTA).report
+    return {
+        "policy": name,
+        "polls": report.polls,
+        "fidelity": report.fidelity_by_violations,
+        "fidelity_time": report.fidelity_by_time,
+        "efficiency": report.fidelity_by_time / max(report.polls, 1),
     }
-    rows = []
-    for name, factory in policies.items():
-        result = run_individual([trace], factory)
-        report = collect_temporal(result.proxy, trace, DELTA).report
-        rows.append(
-            {
-                "policy": name,
-                "polls": report.polls,
-                "fidelity": report.fidelity_by_violations,
-                "fidelity_time": report.fidelity_by_time,
-                "efficiency": report.fidelity_by_time / max(report.polls, 1),
-            }
-        )
-    return rows
+
+
+def _evaluate_all(*, workers=None):
+    trace = news_trace("cnn_fn")
+    return executor_for(workers).map(
+        partial(_policy_row, trace=trace), POLICY_NAMES
+    )
 
 
 def test_extension_prior_policies(run_once):

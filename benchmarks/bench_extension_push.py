@@ -14,6 +14,8 @@ CNN/FN workload:
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.consistency.invalidation import (
     PushChannel,
     PushConsistencyClient,
@@ -23,6 +25,7 @@ from repro.consistency.limd import limd_policy_factory
 from repro.core.types import MINUTE
 from repro.experiments.render import render_dict_rows
 from repro.experiments.runner import run_individual
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import news_trace
 from repro.httpsim.network import Network
 from repro.metrics.collector import collect_temporal
@@ -45,14 +48,12 @@ def _run_push(trace):
     return proxy, channel
 
 
-def _evaluate():
-    trace = news_trace("cnn_fn")
-    rows = []
-
-    push_proxy, channel = _run_push(trace)
-    push_report = collect_temporal(push_proxy, trace, delta=1.0).report
-    rows.append(
-        {
+def _mechanism_row(delta_min, *, trace):
+    """One comparison row: push (delta_min None) or LIMD at delta_min."""
+    if delta_min is None:
+        push_proxy, channel = _run_push(trace)
+        push_report = collect_temporal(push_proxy, trace, delta=1.0).report
+        return {
             "mechanism": "push",
             "delta_min": None,
             "messages": push_proxy.counters.get("polls")
@@ -61,25 +62,26 @@ def _evaluate():
             "fidelity_time": push_report.fidelity_by_time,
             "out_sync_s": push_report.out_sync_time,
         }
+    delta = delta_min * MINUTE
+    result = run_individual(
+        [trace], limd_policy_factory(delta, ttr_max=TTR_MAX)
     )
+    report = collect_temporal(result.proxy, trace, delta).report
+    return {
+        "mechanism": "limd",
+        "delta_min": delta_min,
+        "messages": report.polls,
+        "fetches": report.polls,
+        "fidelity_time": report.fidelity_by_time,
+        "out_sync_s": report.out_sync_time,
+    }
 
-    for delta_min in (1, 10, 30):
-        delta = delta_min * MINUTE
-        result = run_individual(
-            [trace], limd_policy_factory(delta, ttr_max=TTR_MAX)
-        )
-        report = collect_temporal(result.proxy, trace, delta).report
-        rows.append(
-            {
-                "mechanism": "limd",
-                "delta_min": delta_min,
-                "messages": report.polls,
-                "fetches": report.polls,
-                "fidelity_time": report.fidelity_by_time,
-                "out_sync_s": report.out_sync_time,
-            }
-        )
-    return rows
+
+def _evaluate(*, workers=None):
+    trace = news_trace("cnn_fn")
+    return executor_for(workers).map(
+        partial(_mechanism_row, trace=trace), [None, 1, 10, 30]
+    )
 
 
 def test_extension_push_vs_poll(run_once):

@@ -17,10 +17,12 @@ TRACE_KEYS = ("cnn_fn", "nyt_ap", "nyt_reuters", "guardian")
 DELTAS_MIN = (1, 10, 60)
 
 
-def _evaluate():
+def _evaluate(*, workers=None):
     rows = []
     for key in TRACE_KEYS:
-        result = figure3.run(trace_key=key, deltas_min=DELTAS_MIN)
+        result = figure3.run(
+            trace_key=key, deltas_min=DELTAS_MIN, workers=workers
+        )
         for row in result.rows:
             rows.append(
                 {

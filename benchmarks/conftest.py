@@ -10,18 +10,83 @@ the authors' 2000-era traces); shapes are what reproduction means here.
 Benchmarks execute each experiment exactly once (``rounds=1``): the
 interesting measurement is the experiment output, and the wall-clock
 time recorded by pytest-benchmark documents the cost of regenerating it.
+
+Every entry point goes through :func:`run_once`, which forwards the
+suite-wide parallelism knob: ``pytest benchmarks/ --workers 4`` (or
+``REPRO_WORKERS=4``) makes each experiment fan its independent
+simulation points across that many worker processes.  Results are
+row-for-row identical to serial runs — the executor seam in
+:mod:`repro.experiments.sweep` guarantees ordering and per-point
+seeding — so the shape assertions are parallelism-agnostic.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
+
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "fan each benchmark's independent simulation points across "
+            "N worker processes (default: serial; REPRO_WORKERS env var "
+            "is the fallback)"
+        ),
+    )
+
+
 @pytest.fixture
-def run_once(benchmark):
-    """Run a callable exactly once under pytest-benchmark timing."""
+def workers(request):
+    """The suite-wide worker count: --workers, else $REPRO_WORKERS, else None."""
+    value = None
+    try:
+        value = request.config.getoption("--workers")
+    except ValueError:
+        pass
+    if value is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env:
+            try:
+                value = int(env)
+            except ValueError:
+                raise pytest.UsageError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+    if value is not None and value < 1:
+        raise pytest.UsageError(
+            f"--workers/REPRO_WORKERS must be >= 1, got {value}"
+        )
+    return value
+
+
+def _accepts_workers(func) -> bool:
+    try:
+        return "workers" in inspect.signature(func).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+@pytest.fixture
+def run_once(benchmark, workers):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Injects the suite-wide ``workers`` knob into any experiment whose
+    signature accepts it (explicit ``workers=`` in the call wins).
+    """
 
     def runner(func, *args, **kwargs):
+        if (
+            workers is not None
+            and "workers" not in kwargs
+            and _accepts_workers(func)
+        ):
+            kwargs["workers"] = workers
         return benchmark.pedantic(
             func, args=args, kwargs=kwargs, rounds=1, iterations=1
         )

@@ -6,6 +6,7 @@ Usage (installed or from a checkout)::
     python -m repro table2                    # print one table/figure
     python -m repro figure3 --seed 7
     python -m repro figure5 --pair cnn_fn nyt_ap
+    python -m repro figure5 --workers 4           # parallel sweep points
     python -m repro report                    # full Markdown report
     python -m repro ablations                 # all ablation studies
 """
@@ -54,82 +55,92 @@ def _register(name: str, description: str):
 
 @_register("table2", "Table 2: temporal workload characteristics")
 def _run_table2(args: argparse.Namespace) -> str:
-    return table2.render(seed=args.seed)
+    return table2.render(seed=args.seed, workers=args.workers)
 
 
 @_register("table3", "Table 3: value workload characteristics")
 def _run_table3(args: argparse.Namespace) -> str:
-    return table3.render(seed=args.seed)
+    return table3.render(seed=args.seed, workers=args.workers)
 
 
 @_register("figure3", "Figure 3: LIMD vs baseline polls/fidelity vs delta")
 def _run_figure3(args: argparse.Namespace) -> str:
-    return figure3.render(seed=args.seed, trace_key=args.trace)
+    return figure3.render(
+        seed=args.seed, trace_key=args.trace, workers=args.workers
+    )
 
 
 @_register("figure4", "Figure 4: LIMD adaptivity over time")
 def _run_figure4(args: argparse.Namespace) -> str:
-    return figure4.render(seed=args.seed, trace_key=args.trace)
+    return figure4.render(
+        seed=args.seed, trace_key=args.trace, workers=args.workers
+    )
 
 
 @_register("figure5", "Figure 5: mutual temporal approaches vs delta")
 def _run_figure5(args: argparse.Namespace) -> str:
-    return figure5.render(seed=args.seed, pair=tuple(args.pair))
+    return figure5.render(
+        seed=args.seed, pair=tuple(args.pair), workers=args.workers
+    )
 
 
 @_register("figure6", "Figure 6: heuristic adaptivity over time")
 def _run_figure6(args: argparse.Namespace) -> str:
-    return figure6.render(seed=args.seed, pair=tuple(args.pair_fig6))
+    return figure6.render(
+        seed=args.seed, pair=tuple(args.pair_fig6), workers=args.workers
+    )
 
 
 @_register("figure7", "Figure 7: mutual value approaches vs delta")
 def _run_figure7(args: argparse.Namespace) -> str:
-    return figure7.render(seed=args.seed)
+    return figure7.render(seed=args.seed, workers=args.workers)
 
 
 @_register("figure8", "Figure 8: f at proxy vs server over time")
 def _run_figure8(args: argparse.Namespace) -> str:
-    return figure8.render(seed=args.seed)
+    return figure8.render(seed=args.seed, workers=args.workers)
 
 
 @_register("group_mt", "Extension: n-object mutual temporal consistency")
 def _run_group_mt(args: argparse.Namespace) -> str:
-    return group_mt.render(seed=args.seed)
+    return group_mt.render(seed=args.seed, workers=args.workers)
 
 
 @_register("hierarchy", "Extension: flat vs hierarchical proxy topologies")
 def _run_hierarchy(args: argparse.Namespace) -> str:
-    return hierarchy.render(seed=args.seed, trace_key=args.trace)
+    return hierarchy.render(
+        seed=args.seed, trace_key=args.trace, workers=args.workers
+    )
 
 
 @_register("ablations", "All ablation studies")
 def _run_ablations(args: argparse.Namespace) -> str:
     sections = [
         render_ablation(
-            ablate_history(seed=args.seed),
+            ablate_history(seed=args.seed, workers=args.workers),
             "Ablation: violation detection modes",
         ),
         render_ablation(
-            ablate_heuristic_threshold(seed=args.seed),
+            ablate_heuristic_threshold(seed=args.seed, workers=args.workers),
             "Ablation: heuristic rate-ratio threshold",
         ),
         render_ablation(
-            ablate_partition(seed=args.seed),
+            ablate_partition(seed=args.seed, workers=args.workers),
             "Ablation: static vs dynamic delta split",
         ),
         render_ablation(
-            ablate_smoothing(seed=args.seed), "Ablation: Eq. 10 alpha sweep"
+            ablate_smoothing(seed=args.seed, workers=args.workers), "Ablation: Eq. 10 alpha sweep"
         ),
         render_ablation(
-            ablate_limd_parameters(seed=args.seed),
+            ablate_limd_parameters(seed=args.seed, workers=args.workers),
             "Ablation: LIMD l/m tuning",
         ),
         render_ablation(
-            ablate_latency(seed=args.seed),
+            ablate_latency(seed=args.seed, workers=args.workers),
             "Ablation: network-latency sensitivity",
         ),
         render_ablation(
-            ablate_trigger_semantics(seed=args.seed),
+            ablate_trigger_semantics(seed=args.seed, workers=args.workers),
             "Ablation: trigger semantics",
         ),
     ]
@@ -140,7 +151,7 @@ def _run_ablations(args: argparse.Namespace) -> str:
 def _run_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate
 
-    return generate(seed=args.seed)
+    return generate(seed=args.seed, workers=args.workers)
 
 
 def _list_experiments() -> str:
@@ -150,6 +161,15 @@ def _list_experiments() -> str:
         description, _ = _EXPERIMENTS[name]
         lines.append(f"  {name.ljust(width)}  {description}")
     return "\n".join(lines)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SEED,
         help=f"workload seed (default {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "run independent simulation points across N worker processes "
+            "(default: serial; sweeps stay row-for-row identical)"
+        ),
     )
     parser.add_argument(
         "--trace",

@@ -16,12 +16,20 @@ Modules:
 from repro.experiments.runner import (
     RunResult,
     run_individual,
+    run_many,
     run_mutual_temporal,
     run_mutual_value_adaptive,
     run_mutual_value_group,
     run_mutual_value_partitioned,
 )
-from repro.experiments.sweep import SweepResult, run_sweep
+from repro.experiments.sweep import (
+    ParallelExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    SweepResult,
+    executor_for,
+    run_sweep,
+)
 from repro.experiments.workloads import (
     DEFAULT_SEED,
     news_trace,
@@ -33,10 +41,15 @@ from repro.experiments.workloads import (
 __all__ = [
     "RunResult",
     "run_individual",
+    "run_many",
     "run_mutual_temporal",
     "run_mutual_value_adaptive",
     "run_mutual_value_group",
     "run_mutual_value_partitioned",
+    "SweepExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_for",
     "SweepResult",
     "run_sweep",
     "DEFAULT_SEED",

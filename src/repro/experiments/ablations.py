@@ -13,14 +13,23 @@ Each ablation isolates one mechanism and quantifies its effect:
 * :func:`ablate_trigger_semantics` — triggered polls as *additional*
   polls (paper semantics) vs polls that *replace* the next scheduled
   refresh.
+
+Every ablation accepts ``workers``: each configuration in its grid is
+an independent simulation, executed through the same ordered
+serial/parallel executor seam the figure sweeps use
+(:func:`repro.experiments.sweep.executor_for`).  The per-configuration
+point functions are module level and take only picklable arguments
+(traces, parameter dataclasses) so they can cross the process boundary;
+policy factories are closures and are rebuilt inside the point.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.adaptive_value import AdaptiveValueParameters
-from repro.consistency.limd import limd_policy_factory
+from repro.consistency.limd import LimdParameters, limd_policy_factory
 from repro.consistency.mutual_temporal import (
     MutualTemporalCoordinator,
     MutualTemporalMode,
@@ -35,6 +44,7 @@ from repro.experiments.runner import (
     run_mutual_temporal,
     run_mutual_value_partitioned,
 )
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import DEFAULT_SEED, news_trace, stock_trace
 from repro.groups.registry import GroupRegistry
 from repro.httpsim.network import LatencyModel, Network
@@ -48,8 +58,33 @@ from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import EventLog
+from repro.traces.model import UpdateTrace
 
 DETECTION_MODES = ("history", "last_modified_only", "inferred")
+
+
+def _history_point(
+    mode: str, *, trace: UpdateTrace, delta: Seconds
+) -> Dict[str, object]:
+    result = run_individual(
+        [trace],
+        limd_policy_factory(
+            delta,
+            ttr_max=TTR_MAX,
+            parameters=PAPER_LIMD_PARAMETERS,
+            detection_mode=mode,
+        ),
+        supports_history=(mode == "history"),
+        want_history=(mode == "history"),
+    )
+    report = collect_temporal(result.proxy, trace, delta).report
+    return {
+        "detection": mode,
+        "polls": report.polls,
+        "violations": report.violations,
+        "fidelity": report.fidelity_by_violations,
+        "fidelity_time": report.fidelity_by_time,
+    }
 
 
 def ablate_history(
@@ -57,6 +92,7 @@ def ablate_history(
     trace_key: str = "guardian",
     delta: Seconds = 5 * MINUTE,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Compare violation-detection modes on a fast-changing trace.
 
@@ -67,30 +103,44 @@ def ablate_history(
     last-modified-only detects the fewest.
     """
     trace = news_trace(trace_key, seed)
-    rows: List[Dict[str, object]] = []
-    for mode in DETECTION_MODES:
-        result = run_individual(
-            [trace],
-            limd_policy_factory(
-                delta,
-                ttr_max=TTR_MAX,
-                parameters=PAPER_LIMD_PARAMETERS,
-                detection_mode=mode,
-            ),
-            supports_history=(mode == "history"),
-            want_history=(mode == "history"),
-        )
-        report = collect_temporal(result.proxy, trace, delta).report
-        rows.append(
-            {
-                "detection": mode,
-                "polls": report.polls,
-                "violations": report.violations,
-                "fidelity": report.fidelity_by_violations,
-                "fidelity_time": report.fidelity_by_time,
-            }
-        )
-    return rows
+    return executor_for(workers).map(
+        partial(_history_point, trace=trace, delta=delta), DETECTION_MODES
+    )
+
+
+def _threshold_point(
+    threshold: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: Seconds,
+    mutual_delta: Seconds,
+) -> Dict[str, object]:
+    factory = limd_policy_factory(
+        delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    )
+    result = run_mutual_temporal(
+        trace_a,
+        trace_b,
+        factory,
+        mutual_delta,
+        MutualTemporalMode.HEURISTIC,
+        rate_ratio_threshold=threshold,
+    )
+    synchrony = collect_mutual_synchrony(
+        result.proxy, trace_a.object_id, trace_b.object_id, mutual_delta
+    )
+    coordinator = result.mutual_coordinator
+    assert coordinator is not None
+    return {
+        "threshold": threshold,
+        "polls": synchrony.total_polls,
+        "extra_polls": coordinator.extra_polls,
+        "suppressed_slower": coordinator.counters.get(
+            "suppressed_slower_rate"
+        ),
+        "fidelity": synchrony.report.fidelity_by_violations,
+    }
 
 
 def ablate_heuristic_threshold(
@@ -100,6 +150,7 @@ def ablate_heuristic_threshold(
     mutual_delta: Seconds = 2 * MINUTE,
     thresholds: Sequence[float] = (0.25, 0.5, 0.8, 1.0, 2.0),
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sweep the §3.2 heuristic's rate-ratio gate.
 
@@ -110,36 +161,48 @@ def ablate_heuristic_threshold(
     key_a, key_b = pair
     trace_a = news_trace(key_a, seed)
     trace_b = news_trace(key_b, seed)
-    factory = limd_policy_factory(
-        delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    return executor_for(workers).map(
+        partial(
+            _threshold_point,
+            trace_a=trace_a,
+            trace_b=trace_b,
+            delta=delta,
+            mutual_delta=mutual_delta,
+        ),
+        list(thresholds),
     )
-    rows: List[Dict[str, object]] = []
-    for threshold in thresholds:
-        result = run_mutual_temporal(
-            trace_a,
-            trace_b,
-            factory,
-            mutual_delta,
-            MutualTemporalMode.HEURISTIC,
-            rate_ratio_threshold=threshold,
-        )
-        synchrony = collect_mutual_synchrony(
-            result.proxy, trace_a.object_id, trace_b.object_id, mutual_delta
-        )
-        coordinator = result.mutual_coordinator
-        assert coordinator is not None
-        rows.append(
-            {
-                "threshold": threshold,
-                "polls": synchrony.total_polls,
-                "extra_polls": coordinator.extra_polls,
-                "suppressed_slower": coordinator.counters.get(
-                    "suppressed_slower_rate"
-                ),
-                "fidelity": synchrony.report.fidelity_by_violations,
-            }
-        )
-    return rows
+
+
+def _partition_point(
+    config: Tuple[str, Optional[float]],
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    mutual_delta: float,
+    bounds: TTRBounds,
+) -> Dict[str, object]:
+    label, interval = config
+    result = run_mutual_value_partitioned(
+        trace_a,
+        trace_b,
+        mutual_delta,
+        bounds=bounds,
+        parameters=PartitionParameters(reapportion_interval=interval),
+    )
+    pair_report = collect_mutual_value(
+        result.proxy, trace_a, trace_b, mutual_delta
+    )
+    coordinator = result.partitioned
+    assert coordinator is not None
+    delta_a, delta_b = coordinator.current_split
+    return {
+        "split": label,
+        "polls": pair_report.total_polls,
+        "fidelity": pair_report.report.fidelity_by_violations,
+        "fidelity_time": pair_report.report.fidelity_by_time,
+        "final_delta_a": delta_a,
+        "final_delta_b": delta_b,
+    }
 
 
 def ablate_partition(
@@ -148,6 +211,7 @@ def ablate_partition(
     mutual_delta: float = 0.6,
     seed: int = DEFAULT_SEED,
     bounds: TTRBounds = VALUE_BOUNDS,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Static 50/50 δ split vs dynamic rate-based re-apportioning.
 
@@ -158,32 +222,44 @@ def ablate_partition(
     key_a, key_b = pair
     trace_a = stock_trace(key_a, seed)
     trace_b = stock_trace(key_b, seed)
-    rows: List[Dict[str, object]] = []
-    for label, interval in (("static", None), ("dynamic", 60.0)):
-        result = run_mutual_value_partitioned(
-            trace_a,
-            trace_b,
-            mutual_delta,
+    return executor_for(workers).map(
+        partial(
+            _partition_point,
+            trace_a=trace_a,
+            trace_b=trace_b,
+            mutual_delta=mutual_delta,
             bounds=bounds,
-            parameters=PartitionParameters(reapportion_interval=interval),
-        )
-        pair_report = collect_mutual_value(
-            result.proxy, trace_a, trace_b, mutual_delta
-        )
-        coordinator = result.partitioned
-        assert coordinator is not None
-        delta_a, delta_b = coordinator.current_split
-        rows.append(
-            {
-                "split": label,
-                "polls": pair_report.total_polls,
-                "fidelity": pair_report.report.fidelity_by_violations,
-                "fidelity_time": pair_report.report.fidelity_by_time,
-                "final_delta_a": delta_a,
-                "final_delta_b": delta_b,
-            }
-        )
-    return rows
+        ),
+        [("static", None), ("dynamic", 60.0)],
+    )
+
+
+def _smoothing_point(
+    alpha: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    mutual_delta: float,
+    bounds: TTRBounds,
+) -> Dict[str, object]:
+    result = run_mutual_value_partitioned(
+        trace_a,
+        trace_b,
+        mutual_delta,
+        bounds=bounds,
+        parameters=PartitionParameters(
+            value_parameters=AdaptiveValueParameters(alpha=alpha)
+        ),
+    )
+    pair_report = collect_mutual_value(
+        result.proxy, trace_a, trace_b, mutual_delta
+    )
+    return {
+        "alpha": alpha,
+        "polls": pair_report.total_polls,
+        "fidelity": pair_report.report.fidelity_by_violations,
+        "fidelity_time": pair_report.report.fidelity_by_time,
+    }
 
 
 def ablate_smoothing(
@@ -193,6 +269,7 @@ def ablate_smoothing(
     alphas: Sequence[float] = (0.3, 0.5, 0.7, 0.9, 1.0),
     seed: int = DEFAULT_SEED,
     bounds: TTRBounds = VALUE_BOUNDS,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sweep Eq. 10's α on the partitioned Mv approach.
 
@@ -203,29 +280,59 @@ def ablate_smoothing(
     key_a, key_b = pair
     trace_a = stock_trace(key_a, seed)
     trace_b = stock_trace(key_b, seed)
-    rows: List[Dict[str, object]] = []
-    for alpha in alphas:
-        result = run_mutual_value_partitioned(
-            trace_a,
-            trace_b,
-            mutual_delta,
+    return executor_for(workers).map(
+        partial(
+            _smoothing_point,
+            trace_a=trace_a,
+            trace_b=trace_b,
+            mutual_delta=mutual_delta,
             bounds=bounds,
-            parameters=PartitionParameters(
-                value_parameters=AdaptiveValueParameters(alpha=alpha)
-            ),
-        )
-        pair_report = collect_mutual_value(
-            result.proxy, trace_a, trace_b, mutual_delta
-        )
-        rows.append(
-            {
-                "alpha": alpha,
-                "polls": pair_report.total_polls,
-                "fidelity": pair_report.report.fidelity_by_violations,
-                "fidelity_time": pair_report.report.fidelity_by_time,
-            }
-        )
-    return rows
+        ),
+        list(alphas),
+    )
+
+
+def _trigger_point(
+    config: Tuple[str, bool],
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: Seconds,
+    mutual_delta: Seconds,
+) -> Dict[str, object]:
+    label, reschedule = config
+    kernel = Kernel()
+    event_log = EventLog(enabled=False)
+    server = OriginServer(supports_history=True, event_log=event_log)
+    feed_traces(kernel, server, (trace_a, trace_b))
+    proxy = ProxyCache(
+        kernel,
+        Network(kernel, LatencyModel()),
+        want_history=True,
+        triggered_polls_reschedule=reschedule,
+    )
+    groups = GroupRegistry()
+    groups.create_group(
+        "pair", (trace_a.object_id, trace_b.object_id), mutual_delta
+    )
+    coordinator = MutualTemporalCoordinator(
+        proxy, groups, mode=MutualTemporalMode.TRIGGERED
+    )
+    factory = limd_policy_factory(
+        delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    )
+    for trace in (trace_a, trace_b):
+        proxy.register_object(trace.object_id, server, factory(trace.object_id))
+    kernel.run(until=max(trace_a.end_time, trace_b.end_time))
+    synchrony = collect_mutual_synchrony(
+        proxy, trace_a.object_id, trace_b.object_id, mutual_delta
+    )
+    return {
+        "semantics": label,
+        "polls": synchrony.total_polls,
+        "extra_polls": coordinator.extra_polls,
+        "fidelity": synchrony.report.fidelity_by_violations,
+    }
 
 
 def ablate_trigger_semantics(
@@ -234,6 +341,7 @@ def ablate_trigger_semantics(
     delta: Seconds = 10 * MINUTE,
     mutual_delta: Seconds = 2 * MINUTE,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Triggered polls as additional vs schedule-replacing polls.
 
@@ -245,45 +353,40 @@ def ablate_trigger_semantics(
     key_a, key_b = pair
     trace_a = news_trace(key_a, seed)
     trace_b = news_trace(key_b, seed)
-    rows: List[Dict[str, object]] = []
-    for label, reschedule in (("additional", False), ("replace", True)):
-        kernel = Kernel()
-        event_log = EventLog(enabled=False)
-        server = OriginServer(supports_history=True, event_log=event_log)
-        feed_traces(kernel, server, (trace_a, trace_b))
-        proxy = ProxyCache(
-            kernel,
-            Network(kernel, LatencyModel()),
-            want_history=True,
-            triggered_polls_reschedule=reschedule,
-        )
-        groups = GroupRegistry()
-        groups.create_group(
-            "pair", (trace_a.object_id, trace_b.object_id), mutual_delta
-        )
-        coordinator = MutualTemporalCoordinator(
-            proxy, groups, mode=MutualTemporalMode.TRIGGERED
-        )
-        factory = limd_policy_factory(
-            delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
-        )
-        for trace in (trace_a, trace_b):
-            proxy.register_object(
-                trace.object_id, server, factory(trace.object_id)
-            )
-        kernel.run(until=max(trace_a.end_time, trace_b.end_time))
-        synchrony = collect_mutual_synchrony(
-            proxy, trace_a.object_id, trace_b.object_id, mutual_delta
-        )
-        rows.append(
-            {
-                "semantics": label,
-                "polls": synchrony.total_polls,
-                "extra_polls": coordinator.extra_polls,
-                "fidelity": synchrony.report.fidelity_by_violations,
-            }
-        )
-    return rows
+    return executor_for(workers).map(
+        partial(
+            _trigger_point,
+            trace_a=trace_a,
+            trace_b=trace_b,
+            delta=delta,
+            mutual_delta=mutual_delta,
+        ),
+        [("additional", False), ("replace", True)],
+    )
+
+
+def _limd_parameters_point(
+    config: Tuple[str, LimdParameters],
+    *,
+    trace: UpdateTrace,
+    delta: Seconds,
+) -> Dict[str, object]:
+    label, parameters = config
+    result = run_individual(
+        [trace],
+        limd_policy_factory(delta, ttr_max=TTR_MAX, parameters=parameters),
+    )
+    report = collect_temporal(result.proxy, trace, delta).report
+    m = parameters.multiplicative_decrease
+    return {
+        "tuning": label,
+        "l": parameters.linear_increase,
+        "m": "adaptive" if m is None else m,
+        "polls": report.polls,
+        "violations": report.violations,
+        "fidelity": report.fidelity_by_violations,
+        "fidelity_time": report.fidelity_by_time,
+    }
 
 
 def ablate_limd_parameters(
@@ -291,6 +394,7 @@ def ablate_limd_parameters(
     trace_key: str = "cnn_fn",
     delta: Seconds = 10 * MINUTE,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sweep LIMD's l (growth) and m (back-off) knobs (§3.1).
 
@@ -300,10 +404,8 @@ def ablate_limd_parameters(
     quicker recovery after violations).  Adaptive m is the paper's
     evaluation setting (m = Δ / observed out-of-sync time).
     """
-    from repro.consistency.limd import LimdParameters
-
     trace = news_trace(trace_key, seed)
-    configurations = (
+    configurations = [
         ("conservative", LimdParameters(linear_increase=0.05, epsilon=0.02)),
         ("paper", PAPER_LIMD_PARAMETERS),
         ("optimistic", LimdParameters(linear_increase=0.5, epsilon=0.02)),
@@ -319,27 +421,31 @@ def ablate_limd_parameters(
                 linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.8
             ),
         ),
+    ]
+    return executor_for(workers).map(
+        partial(_limd_parameters_point, trace=trace, delta=delta),
+        configurations,
     )
-    rows: List[Dict[str, object]] = []
-    for label, parameters in configurations:
-        result = run_individual(
-            [trace],
-            limd_policy_factory(delta, ttr_max=TTR_MAX, parameters=parameters),
-        )
-        report = collect_temporal(result.proxy, trace, delta).report
-        m = parameters.multiplicative_decrease
-        rows.append(
-            {
-                "tuning": label,
-                "l": parameters.linear_increase,
-                "m": "adaptive" if m is None else m,
-                "polls": report.polls,
-                "violations": report.violations,
-                "fidelity": report.fidelity_by_violations,
-                "fidelity_time": report.fidelity_by_time,
-            }
-        )
-    return rows
+
+
+def _latency_point(
+    latency: Seconds, *, trace: UpdateTrace, delta: Seconds
+) -> Dict[str, object]:
+    result = run_individual(
+        [trace],
+        limd_policy_factory(
+            delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+        ),
+        latency=LatencyModel(one_way=latency),
+    )
+    report = collect_temporal(result.proxy, trace, delta).report
+    return {
+        "one_way_latency_s": latency,
+        "latency_over_delta": latency / delta,
+        "polls": report.polls,
+        "fidelity": report.fidelity_by_violations,
+        "fidelity_time": report.fidelity_by_time,
+    }
 
 
 def ablate_latency(
@@ -348,6 +454,7 @@ def ablate_latency(
     delta: Seconds = 10 * MINUTE,
     latencies: Sequence[Seconds] = (0.0, 30.0, 150.0, 300.0, 600.0),
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sensitivity of LIMD to network latency (the paper's §6.1.1 fix).
 
@@ -359,26 +466,9 @@ def ablate_latency(
     fidelity degrades as the one-way latency approaches Δ.
     """
     trace = news_trace(trace_key, seed)
-    rows: List[Dict[str, object]] = []
-    for latency in latencies:
-        result = run_individual(
-            [trace],
-            limd_policy_factory(
-                delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
-            ),
-            latency=LatencyModel(one_way=latency),
-        )
-        report = collect_temporal(result.proxy, trace, delta).report
-        rows.append(
-            {
-                "one_way_latency_s": latency,
-                "latency_over_delta": latency / delta,
-                "polls": report.polls,
-                "fidelity": report.fidelity_by_violations,
-                "fidelity_time": report.fidelity_by_time,
-            }
-        )
-    return rows
+    return executor_for(workers).map(
+        partial(_latency_point, trace=trace, delta=delta), list(latencies)
+    )
 
 
 def render_ablation(rows: List[Dict[str, object]], title: str) -> str:

@@ -15,6 +15,7 @@ fidelity → 1) once Δ exceeds the mean update interval.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.base import fixed_policy_factory
@@ -73,22 +74,31 @@ def evaluate_delta(
     }
 
 
+def _sweep_point(
+    delta_min: float, *, trace: UpdateTrace, detection_mode: str
+) -> Dict[str, object]:
+    """Picklable run-spec for one Figure 3 point (needed by workers > 1)."""
+    return evaluate_delta(
+        trace, delta_min * MINUTE, detection_mode=detection_mode
+    )
+
+
 def run(
     *,
     trace_key: str = "cnn_fn",
     deltas_min: Sequence[float] = DEFAULT_DELTAS_MIN,
     seed: int = DEFAULT_SEED,
     detection_mode: str = "history",
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 3 sweep."""
+    """Run the full Figure 3 sweep (``workers`` > 1 runs points in parallel)."""
     trace = news_trace(trace_key, seed)
     return run_sweep(
         "delta_min",
         deltas_min,
-        lambda delta_min: evaluate_delta(
-            trace, delta_min * MINUTE, detection_mode=detection_mode
-        ),
+        partial(_sweep_point, trace=trace, detection_mode=detection_mode),
         extra_columns={"trace": trace_key},
+        workers=workers,
     )
 
 

@@ -54,8 +54,14 @@ def run(
     trace_key: str = "cnn_fn",
     delta: Seconds = DELTA,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> Figure4Result:
-    """Run LIMD at Δ=10 min and extract both Figure 4 series."""
+    """Run LIMD at Δ=10 min and extract both Figure 4 series.
+
+    ``workers`` is accepted for interface uniformity with the sweep
+    experiments but has no effect: Figure 4 is a single simulation run.
+    """
+    del workers
     trace = news_trace(trace_key, seed)
     result = run_individual(
         [trace],

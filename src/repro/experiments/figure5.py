@@ -11,6 +11,7 @@ Compares the three Section 3.2 approaches on a pair of news traces
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.limd import limd_policy_factory
@@ -85,6 +86,24 @@ def evaluate_mutual_delta(
     return row
 
 
+def _sweep_point(
+    delta_min: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: Seconds,
+    rate_ratio_threshold: float,
+) -> Dict[str, object]:
+    """Picklable run-spec for one Figure 5 point (needed by workers > 1)."""
+    return evaluate_mutual_delta(
+        trace_a,
+        trace_b,
+        delta_min * MINUTE,
+        delta=delta,
+        rate_ratio_threshold=rate_ratio_threshold,
+    )
+
+
 def run(
     *,
     pair: Sequence[str] = ("cnn_fn", "nyt_ap"),
@@ -92,22 +111,28 @@ def run(
     delta: Seconds = DELTA,
     seed: int = DEFAULT_SEED,
     rate_ratio_threshold: float = 0.8,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 5 sweep for one trace pair."""
+    """Run the full Figure 5 sweep for one trace pair.
+
+    ``workers`` > 1 runs the δ points concurrently in worker processes;
+    rows come back in δ order either way.
+    """
     key_a, key_b = pair
     trace_a = news_trace(key_a, seed)
     trace_b = news_trace(key_b, seed)
     return run_sweep(
         "mutual_delta_min",
         mutual_deltas_min,
-        lambda delta_min: evaluate_mutual_delta(
-            trace_a,
-            trace_b,
-            delta_min * MINUTE,
+        partial(
+            _sweep_point,
+            trace_a=trace_a,
+            trace_b=trace_b,
             delta=delta,
             rate_ratio_threshold=rate_ratio_threshold,
         ),
         extra_columns={"pair": f"{key_a}+{key_b}"},
+        workers=workers,
     )
 
 

@@ -56,8 +56,14 @@ def run(
     mutual_delta: Seconds = MUTUAL_DELTA,
     seed: int = DEFAULT_SEED,
     rate_ratio_threshold: float = 0.8,
+    workers: Optional[int] = None,
 ) -> Figure6Result:
-    """Run the heuristic on the pair and extract both series."""
+    """Run the heuristic on the pair and extract both series.
+
+    ``workers`` is accepted for interface uniformity with the sweep
+    experiments but has no effect: Figure 6 is a single simulation run.
+    """
+    del workers
     key_a, key_b = pair
     trace_a = news_trace(key_a, seed)
     trace_b = news_trace(key_b, seed)

@@ -13,6 +13,7 @@ cost of more polls.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.mutual_value import difference
@@ -67,24 +68,35 @@ def evaluate_mutual_delta(
     return row
 
 
+def _sweep_point(
+    delta: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    bounds: TTRBounds,
+) -> Dict[str, object]:
+    """Picklable run-spec for one Figure 7 point (needed by workers > 1)."""
+    return evaluate_mutual_delta(trace_a, trace_b, delta, bounds=bounds)
+
+
 def run(
     *,
     pair: Sequence[str] = ("att", "yahoo"),
     mutual_deltas: Sequence[float] = DEFAULT_MUTUAL_DELTAS,
     seed: int = DEFAULT_SEED,
     bounds: TTRBounds = VALUE_BOUNDS,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 7 sweep."""
+    """Run the full Figure 7 sweep (``workers`` > 1 runs points in parallel)."""
     key_a, key_b = pair
     trace_a = stock_trace(key_a, seed)
     trace_b = stock_trace(key_b, seed)
     return run_sweep(
         "mutual_delta",
         mutual_deltas,
-        lambda delta: evaluate_mutual_delta(
-            trace_a, trace_b, delta, bounds=bounds
-        ),
+        partial(_sweep_point, trace_a=trace_a, trace_b=trace_b, bounds=bounds),
         extra_columns={"pair": f"{key_a}+{key_b}"},
+        workers=workers,
     )
 
 

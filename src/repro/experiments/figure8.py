@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.timeseries import Series
@@ -19,6 +20,7 @@ from repro.experiments.figure7 import VALUE_BOUNDS
 from repro.experiments.render import render_series_block
 from repro.experiments.runner import (
     RunResult,
+    run_many,
     run_mutual_value_adaptive,
     run_mutual_value_partitioned,
 )
@@ -32,13 +34,18 @@ BIN: Seconds = 10.0
 
 @dataclass
 class Figure8Result:
-    """Server and proxy f series for both approaches."""
+    """Server and proxy f series for both approaches.
+
+    The raw :class:`RunResult` objects are only retained on serial runs
+    (``workers`` absent or 1): live simulation state cannot cross the
+    process boundary the parallel path uses.
+    """
 
     server: Series
     adaptive_proxy: Series
     partitioned_proxy: Series
-    adaptive_run: RunResult
-    partitioned_run: RunResult
+    adaptive_run: Optional[RunResult] = None
+    partitioned_run: Optional[RunResult] = None
 
     def tracking_error(self, which: str) -> float:
         """Mean |proxy − server| across bins (lower = tighter tracking)."""
@@ -53,6 +60,43 @@ class Figure8Result:
         return sum(gaps) / len(gaps) if gaps else math.nan
 
 
+def _f_reversed(a: float, b: float) -> float:
+    """The paper plots Yahoo − AT&T (a positive difference ~$130)."""
+    return difference(b, a)
+
+
+def _run_approach(
+    which: str,
+    *,
+    trace_a,
+    trace_b,
+    mutual_delta: float,
+    window: Tuple[Seconds, Seconds],
+    bounds: TTRBounds,
+) -> Tuple[Series, RunResult]:
+    """Run one Mv approach and sample its proxy f series."""
+    runner = (
+        run_mutual_value_adaptive
+        if which == "adaptive"
+        else run_mutual_value_partitioned
+    )
+    result = runner(trace_a, trace_b, mutual_delta, bounds=bounds)
+    start, end = window
+    series = f_value_series(
+        paired_f_history(
+            result.proxy, trace_a.object_id, trace_b.object_id, _f_reversed
+        ),
+        start=start, end=end, bin_width=BIN, label=f"{which} proxy",
+    )
+    return series, result
+
+
+def _approach_point(which: str, **kwargs) -> Series:
+    """Picklable run-spec: one approach's proxy series, sans live state."""
+    series, _ = _run_approach(which, **kwargs)
+    return series
+
+
 def run(
     *,
     pair: Sequence[str] = ("att", "yahoo"),
@@ -60,38 +104,47 @@ def run(
     window: Tuple[Seconds, Seconds] = WINDOW,
     seed: int = DEFAULT_SEED,
     bounds: TTRBounds = VALUE_BOUNDS,
+    workers: Optional[int] = None,
 ) -> Figure8Result:
-    """Run both Mv approaches and sample the three f series."""
+    """Run both Mv approaches and sample the three f series.
+
+    ``workers`` > 1 runs the two approaches in parallel worker
+    processes; the resulting :class:`Figure8Result` then carries only
+    the series (``adaptive_run``/``partitioned_run`` are ``None``).
+    """
     key_a, key_b = pair
     trace_a = stock_trace(key_a, seed)
     trace_b = stock_trace(key_b, seed)
     start, end = window
 
-    # The paper plots Yahoo − AT&T (a positive difference ~$130).
-    f = lambda a, b: difference(b, a)  # noqa: E731 - tiny adapter
-
     server_series = f_value_series(
-        server_f_knots(trace_a, trace_b, f),
+        server_f_knots(trace_a, trace_b, _f_reversed),
         start=start, end=end, bin_width=BIN, label="server",
     )
 
-    adaptive = run_mutual_value_adaptive(
-        trace_a, trace_b, mutual_delta, bounds=bounds
+    approach_kwargs = dict(
+        trace_a=trace_a,
+        trace_b=trace_b,
+        mutual_delta=mutual_delta,
+        window=window,
+        bounds=bounds,
     )
-    adaptive_series = f_value_series(
-        paired_f_history(adaptive.proxy, trace_a.object_id, trace_b.object_id, f),
-        start=start, end=end, bin_width=BIN, label="adaptive proxy",
-    )
-
-    partitioned = run_mutual_value_partitioned(
-        trace_a, trace_b, mutual_delta, bounds=bounds
-    )
-    partitioned_series = f_value_series(
-        paired_f_history(
-            partitioned.proxy, trace_a.object_id, trace_b.object_id, f
-        ),
-        start=start, end=end, bin_width=BIN, label="partitioned proxy",
-    )
+    if workers is not None and workers > 1:
+        adaptive_series, partitioned_series = run_many(
+            [
+                partial(_approach_point, "adaptive", **approach_kwargs),
+                partial(_approach_point, "partitioned", **approach_kwargs),
+            ],
+            workers=workers,
+        )
+        adaptive = partitioned = None
+    else:
+        adaptive_series, adaptive = _run_approach(
+            "adaptive", **approach_kwargs
+        )
+        partitioned_series, partitioned = _run_approach(
+            "partitioned", **approach_kwargs
+        )
 
     return Figure8Result(
         server=server_series,

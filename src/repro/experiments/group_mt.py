@@ -14,7 +14,8 @@ Used by ``benchmarks/bench_extension_group_mt.py`` and the CLI
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence
 
 from repro.consistency.limd import limd_policy_factory
 from repro.consistency.mutual_temporal import (
@@ -24,6 +25,7 @@ from repro.consistency.mutual_temporal import (
 from repro.core.types import MINUTE, ObjectId, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_dict_rows
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import DEFAULT_SEED, news_trace
 from repro.groups.registry import GroupRegistry
 from repro.httpsim.network import Network
@@ -64,31 +66,40 @@ def _run_mode(traces, mutual_delta: Seconds, mode: MutualTemporalMode):
     return proxy, coordinator, report
 
 
+def _sweep_point(delta_min: float, *, traces) -> Dict[str, object]:
+    """Picklable run-spec: all three modes at one δ (needed by workers > 1)."""
+    mutual_delta = delta_min * MINUTE
+    row: Dict[str, object] = {"mutual_delta_min": delta_min}
+    for mode in (
+        MutualTemporalMode.NONE,
+        MutualTemporalMode.HEURISTIC,
+        MutualTemporalMode.TRIGGERED,
+    ):
+        proxy, coordinator, report = _run_mode(traces, mutual_delta, mode)
+        label = "baseline" if mode is MutualTemporalMode.NONE else mode.value
+        row[f"{label}_polls"] = proxy.counters.get("polls")
+        row[f"{label}_fidelity_time"] = report.fidelity_by_time
+        if mode is not MutualTemporalMode.NONE:
+            row[f"{label}_extra"] = coordinator.extra_polls
+    return row
+
+
 def run(
     *,
     seed: int = DEFAULT_SEED,
     trio: Sequence[str] = DEFAULT_TRIO,
     mutual_deltas_min: Sequence[float] = DEFAULT_MUTUAL_DELTAS,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Sweep δ for the three Section 3.2 modes over an n=3 group."""
+    """Sweep δ for the three Section 3.2 modes over an n=3 group.
+
+    ``workers`` > 1 runs the δ points concurrently; rows come back in
+    δ order either way.
+    """
     traces = [news_trace(key, seed) for key in trio]
-    rows: List[Dict[str, object]] = []
-    for delta_min in mutual_deltas_min:
-        mutual_delta = delta_min * MINUTE
-        row: Dict[str, object] = {"mutual_delta_min": delta_min}
-        for mode in (
-            MutualTemporalMode.NONE,
-            MutualTemporalMode.HEURISTIC,
-            MutualTemporalMode.TRIGGERED,
-        ):
-            proxy, coordinator, report = _run_mode(traces, mutual_delta, mode)
-            label = "baseline" if mode is MutualTemporalMode.NONE else mode.value
-            row[f"{label}_polls"] = proxy.counters.get("polls")
-            row[f"{label}_fidelity_time"] = report.fidelity_by_time
-            if mode is not MutualTemporalMode.NONE:
-                row[f"{label}_extra"] = coordinator.extra_polls
-        rows.append(row)
-    return rows
+    return executor_for(workers).map(
+        partial(_sweep_point, traces=traces), list(mutual_deltas_min)
+    )
 
 
 def render(
@@ -96,10 +107,11 @@ def render(
     *,
     seed: int = DEFAULT_SEED,
     trio: Sequence[str] = DEFAULT_TRIO,
+    workers: Optional[int] = None,
 ) -> str:
     """Render the sweep as an ASCII table."""
     if rows is None:
-        rows = run(seed=seed, trio=trio)
+        rows = run(seed=seed, trio=trio, workers=workers)
     return render_dict_rows(
         rows,
         title=(

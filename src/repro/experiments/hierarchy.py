@@ -11,11 +11,13 @@ Used by ``benchmarks/bench_extension_hierarchy.py`` and by the CLI
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
 from repro.consistency.limd import LimdPolicy
 from repro.core.types import MINUTE, Seconds, TTRBounds
 from repro.experiments.render import render_dict_rows
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import DEFAULT_SEED, news_trace
 from repro.httpsim.network import Network
 from repro.metrics.fidelity import temporal_fidelity_from_snapshots
@@ -77,47 +79,52 @@ def _run_hierarchy(trace: UpdateTrace, edge_count: int):
     return origin, parent, edges
 
 
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def _topology_row(
+    topology: str, *, trace: UpdateTrace, edge_count: int
+) -> Dict[str, object]:
+    """Picklable run-spec: one topology's row (needed by workers > 1)."""
+    if topology == "flat":
+        origin, edges = _run_flat(trace, edge_count)
+        parent_polls = None
+    else:
+        origin, parent, edges = _run_hierarchy(trace, edge_count)
+        parent_polls = parent.counters.get("polls")
+    return {
+        "topology": topology,
+        "edges": edge_count,
+        "origin_requests": origin.counters.get("requests"),
+        "parent_polls": parent_polls,
+        "edge_fidelity_1x": _mean(
+            _edge_fidelity(trace, e, DELTA) for e in edges
+        ),
+        "edge_fidelity_2x": _mean(
+            _edge_fidelity(trace, e, 2 * DELTA) for e in edges
+        ),
+    }
+
+
 def run(
     *,
     seed: int = DEFAULT_SEED,
     trace_key: str = "cnn_fn",
     edge_count: int = DEFAULT_EDGE_COUNT,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Run both topologies and return the comparison rows."""
+    """Run both topologies and return the comparison rows.
+
+    ``workers`` > 1 runs the two topologies in parallel worker
+    processes; rows stay in (flat, hierarchy) order.
+    """
     trace = news_trace(trace_key, seed)
-    flat_origin, flat_edges = _run_flat(trace, edge_count)
-    hier_origin, parent, hier_edges = _run_hierarchy(trace, edge_count)
-
-    def mean(values) -> float:
-        values = list(values)
-        return sum(values) / len(values)
-
-    return [
-        {
-            "topology": "flat",
-            "edges": edge_count,
-            "origin_requests": flat_origin.counters.get("requests"),
-            "parent_polls": None,
-            "edge_fidelity_1x": mean(
-                _edge_fidelity(trace, e, DELTA) for e in flat_edges
-            ),
-            "edge_fidelity_2x": mean(
-                _edge_fidelity(trace, e, 2 * DELTA) for e in flat_edges
-            ),
-        },
-        {
-            "topology": "hierarchy",
-            "edges": edge_count,
-            "origin_requests": hier_origin.counters.get("requests"),
-            "parent_polls": parent.counters.get("polls"),
-            "edge_fidelity_1x": mean(
-                _edge_fidelity(trace, e, DELTA) for e in hier_edges
-            ),
-            "edge_fidelity_2x": mean(
-                _edge_fidelity(trace, e, 2 * DELTA) for e in hier_edges
-            ),
-        },
-    ]
+    return executor_for(workers).map(
+        partial(_topology_row, trace=trace, edge_count=edge_count),
+        ["flat", "hierarchy"],
+    )
 
 
 def render(
@@ -126,10 +133,16 @@ def render(
     seed: int = DEFAULT_SEED,
     trace_key: str = "cnn_fn",
     edge_count: int = DEFAULT_EDGE_COUNT,
+    workers: Optional[int] = None,
 ) -> str:
     """Render the comparison as an ASCII table."""
     if rows is None:
-        rows = run(seed=seed, trace_key=trace_key, edge_count=edge_count)
+        rows = run(
+            seed=seed,
+            trace_key=trace_key,
+            edge_count=edge_count,
+            workers=workers,
+        )
     return render_dict_rows(
         rows,
         title=(

@@ -8,12 +8,22 @@ the metrics layer needs.
 All paper experiments use a synchronous network (fixed zero latency, as
 the paper holds latency fixed and out of scope) and the history-capable
 server unless an ablation says otherwise.
+
+Experiments that are not value sweeps but still consist of several
+independent simulations (figure 8's two approaches, the ablation
+configuration grids, the topology comparison) parallelise through
+:func:`run_many`, the same executor seam :func:`repro.experiments.sweep.run_sweep`
+uses: hand it zero-argument picklable run-specs (``functools.partial``
+over module-level functions) and it returns their results in input
+order, serially or across a process pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.sweep import SweepExecutor, executor_for
 
 from repro.consistency.base import PolicyFactory
 from repro.consistency.mutual_temporal import (
@@ -37,6 +47,27 @@ from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import EventLog
 from repro.traces.model import UpdateTrace
+
+
+def _invoke(task: Callable[[], object]) -> object:
+    """Call a zero-argument run-spec (module-level so workers can unpickle it)."""
+    return task()
+
+
+def run_many(
+    tasks: Sequence[Callable[[], object]],
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> List[object]:
+    """Run independent zero-argument run-specs, results in input order.
+
+    With ``workers`` > 1 each task executes in a worker process, so the
+    task (and its return value) must pickle: use ``functools.partial``
+    over a module-level function and return plain data (rows, series),
+    not live simulation objects.
+    """
+    return executor_for(workers, executor).map(_invoke, list(tasks))
 
 
 @dataclass

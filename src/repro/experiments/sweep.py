@@ -1,19 +1,45 @@
-"""Parameter sweep driver.
+"""Parameter sweep driver with pluggable serial/parallel execution.
 
 Every figure in the paper's evaluation is a sweep over a tolerance
 (Δ or δ): run the simulation once per value, extract metric columns,
-collect rows.  :class:`Sweep` standardises this and keeps every row a
-plain dict so rendering, assertions and regression checks stay trivial.
+collect rows.  :class:`Sweep` semantics are standardised here and every
+row stays a plain dict so rendering, assertions and regression checks
+remain trivial.
+
+Execution is delegated to a :class:`SweepExecutor`:
+
+* :class:`SerialExecutor` runs points in-process, one after another —
+  the default, and the reference behaviour.
+* :class:`ParallelExecutor` fans points out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Sweep points are
+  independent simulations, so this scales figure reproduction across
+  cores.  Results are collected **in submission order** regardless of
+  completion order, and each point derives its own RNG seed from the
+  root seed via :func:`repro.core.rng.derive_seed`, so serial and
+  parallel runs of the same sweep produce row-for-row identical output.
+
+For the parallel path every sweep point must be a *picklable run-spec*:
+the row builder has to be a module-level function (or a
+:func:`functools.partial` over one) whose bound arguments pickle —
+materialise traces once up front and bind them with ``partial`` rather
+than capturing them in a closure.  Policy *factories* are closures and
+do not pickle; pass their parameters and rebuild the factory inside the
+point function.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.errors import ExperimentError
+from repro.core.rng import RngRegistry, derive_seed
 
 #: One sweep point: maps the swept value to a row of metric columns.
+#: Builders that opt into per-point RNG (``run_sweep(..., seed=...)``)
+#: must additionally accept an ``rng`` keyword argument.
 RowBuilder = Callable[[float], Mapping[str, object]]
 
 
@@ -48,30 +74,146 @@ class SweepResult:
         )
 
 
+@dataclass(frozen=True)
+class PointTask:
+    """A picklable run-spec for one sweep point.
+
+    Everything a worker process needs to produce one result row: the
+    row builder (a picklable callable), the swept value, the reserved
+    base columns, and — when the sweep was given a root ``seed`` — the
+    per-point seed derived from it.
+    """
+
+    build_row: RowBuilder
+    parameter: str
+    index: int
+    value: float
+    extra_columns: Optional[Mapping[str, object]] = None
+    point_seed: Optional[int] = None
+
+
+def execute_point(task: PointTask) -> Dict[str, object]:
+    """Run one sweep point and assemble its row.
+
+    Module-level so that :class:`ParallelExecutor` workers can unpickle
+    and invoke it; the serial path uses the same function so both
+    executors share row-assembly semantics exactly.
+    """
+    row: Dict[str, object] = {task.parameter: task.value}
+    if task.extra_columns:
+        row.update(task.extra_columns)
+    if task.point_seed is not None:
+        produced = task.build_row(
+            task.value, rng=RngRegistry(task.point_seed)
+        )
+    else:
+        produced = task.build_row(task.value)
+    overlap = set(produced) & set(row)
+    if overlap:
+        raise ExperimentError(
+            f"row builder produced reserved column(s): {sorted(overlap)}"
+        )
+    row.update(produced)
+    return row
+
+
+class SweepExecutor:
+    """Strategy for running a batch of independent tasks.
+
+    Implementations must return results **in input order** — callers
+    rely on row N corresponding to swept value N even when point
+    runtimes vary wildly (small Δ sweeps cost far more than large Δ).
+    """
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item, returning ordered results."""
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """Run every task in-process, sequentially — the reference executor."""
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(SweepExecutor):
+    """Fan tasks out over a process pool, preserving input order.
+
+    ``fn`` and every item must be picklable (see the module docstring
+    for the run-spec discipline).  Futures are collected in submission
+    order, so results are ordered even when later points finish first.
+    Falls back to in-process execution for batches of one.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or os.cpu_count() or 1
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+
+
+def executor_for(
+    workers: Optional[int], executor: Optional[SweepExecutor] = None
+) -> SweepExecutor:
+    """Resolve the ``workers=`` knob into an executor.
+
+    An explicit ``executor`` wins; otherwise ``workers`` of ``None`` or
+    ``1`` means serial and anything larger a process pool of that size.
+    """
+    if executor is not None:
+        return executor
+    if workers is None or workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)
+
+
 def run_sweep(
     parameter: str,
     values: Iterable[float],
     build_row: RowBuilder,
     *,
     extra_columns: Optional[Mapping[str, object]] = None,
+    workers: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+    seed: Optional[int] = None,
 ) -> SweepResult:
-    """Run ``build_row`` for each swept value and collect rows.
+    """Run ``build_row`` for each swept value and collect ordered rows.
 
     The swept value is stored in each row under ``parameter``; any
     ``extra_columns`` (fixed experiment configuration worth recording)
     are merged into every row.
+
+    ``workers`` > 1 (or an explicit ``executor``) runs points
+    concurrently in worker processes; ``build_row`` must then be
+    picklable.  When ``seed`` is given, each point receives an
+    ``rng=RngRegistry(...)`` keyword whose root is derived from
+    ``seed`` and the point's position — identical no matter which
+    worker (or how many) runs the point.
     """
-    result = SweepResult(parameter=parameter)
-    for value in values:
-        row: Dict[str, object] = {parameter: value}
-        if extra_columns:
-            row.update(extra_columns)
-        produced = build_row(value)
-        overlap = set(produced) & set(row)
-        if overlap:
-            raise ExperimentError(
-                f"row builder produced reserved column(s): {sorted(overlap)}"
-            )
-        row.update(produced)
-        result.rows.append(row)
-    return result
+    tasks = [
+        PointTask(
+            build_row=build_row,
+            parameter=parameter,
+            index=index,
+            value=value,
+            extra_columns=extra_columns,
+            point_seed=(
+                derive_seed(seed, f"{parameter}[{index}]")
+                if seed is not None
+                else None
+            ),
+        )
+        for index, value in enumerate(values)
+    ]
+    rows = executor_for(workers, executor).map(execute_point, tasks)
+    return SweepResult(parameter=parameter, rows=rows)

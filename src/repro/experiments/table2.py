@@ -8,36 +8,44 @@ exactly and mean intervals match to the reported precision.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.types import HOUR, MINUTE
 from repro.experiments.render import render_table
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import DEFAULT_SEED, news_traces
+from repro.traces.model import UpdateTrace
 from repro.traces.stats import summarize_temporal
 
 
-def run(seed: int = DEFAULT_SEED) -> List[Dict[str, object]]:
-    """Build the Table 2 rows."""
-    rows: List[Dict[str, object]] = []
-    for key, trace in news_traces(seed).items():
-        summary = summarize_temporal(trace)
-        rows.append(
-            {
-                "trace": summary.name,
-                "key": key,
-                "duration_h": round(summary.duration / HOUR, 2),
-                "num_updates": summary.update_count,
-                "avg_update_interval_min": round(
-                    summary.mean_update_interval / MINUTE, 1
-                ),
-            }
-        )
-    return rows
+def _summary_row(item: Tuple[str, UpdateTrace]) -> Dict[str, object]:
+    """Picklable run-spec: characterise one trace (needed by workers > 1)."""
+    key, trace = item
+    summary = summarize_temporal(trace)
+    return {
+        "trace": summary.name,
+        "key": key,
+        "duration_h": round(summary.duration / HOUR, 2),
+        "num_updates": summary.update_count,
+        "avg_update_interval_min": round(
+            summary.mean_update_interval / MINUTE, 1
+        ),
+    }
 
 
-def render(seed: int = DEFAULT_SEED) -> str:
+def run(
+    seed: int = DEFAULT_SEED, *, workers: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Build the Table 2 rows (``workers`` > 1 characterises in parallel)."""
+    items = list(news_traces(seed).items())
+    return executor_for(workers).map(_summary_row, items)
+
+
+def render(
+    seed: int = DEFAULT_SEED, *, workers: Optional[int] = None
+) -> str:
     """Render Table 2 as ASCII."""
-    rows = run(seed)
+    rows = run(seed, workers=workers)
     return render_table(
         ["Trace", "Duration (h)", "Num. Updates", "Avg. Update Interval (min)"],
         [

@@ -7,35 +7,43 @@ value ranges exactly by construction.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.types import HOUR
 from repro.experiments.render import render_table
+from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import DEFAULT_SEED, stock_traces
+from repro.traces.model import UpdateTrace
 from repro.traces.stats import summarize_value
 
 
-def run(seed: int = DEFAULT_SEED) -> List[Dict[str, object]]:
-    """Build the Table 3 rows."""
-    rows: List[Dict[str, object]] = []
-    for key, trace in stock_traces(seed).items():
-        summary = summarize_value(trace)
-        rows.append(
-            {
-                "stock": summary.name,
-                "key": key,
-                "duration_h": round(summary.duration / HOUR, 2),
-                "num_updates": summary.update_count,
-                "min_value": round(summary.min_value, 2),
-                "max_value": round(summary.max_value, 2),
-            }
-        )
-    return rows
+def _summary_row(item: Tuple[str, UpdateTrace]) -> Dict[str, object]:
+    """Picklable run-spec: characterise one trace (needed by workers > 1)."""
+    key, trace = item
+    summary = summarize_value(trace)
+    return {
+        "stock": summary.name,
+        "key": key,
+        "duration_h": round(summary.duration / HOUR, 2),
+        "num_updates": summary.update_count,
+        "min_value": round(summary.min_value, 2),
+        "max_value": round(summary.max_value, 2),
+    }
 
 
-def render(seed: int = DEFAULT_SEED) -> str:
+def run(
+    seed: int = DEFAULT_SEED, *, workers: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Build the Table 3 rows (``workers`` > 1 characterises in parallel)."""
+    items = list(stock_traces(seed).items())
+    return executor_for(workers).map(_summary_row, items)
+
+
+def render(
+    seed: int = DEFAULT_SEED, *, workers: Optional[int] = None
+) -> str:
     """Render Table 3 as ASCII."""
-    rows = run(seed)
+    rows = run(seed, workers=workers)
     return render_table(
         ["Stock", "Duration (h)", "Num. of Updates", "Min Value", "Max Value"],
         [

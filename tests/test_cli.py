@@ -28,6 +28,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure3", "--trace", "bbc"])
 
+    def test_workers_option(self):
+        args = build_parser().parse_args(["figure5", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_workers_defaults_to_serial(self):
+        assert build_parser().parse_args(["table2"]).workers is None
+
+    def test_nonpositive_workers_rejected(self):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["figure3", "--workers", bad])
+
 
 class TestMain:
     def test_list_command(self, capsys):
@@ -50,6 +62,12 @@ class TestMain:
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "AT&T" in out
+
+    def test_table2_with_workers_matches_serial(self, capsys):
+        assert main(["table2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_figure4_runs(self, capsys):
         assert main(["figure4"]) == 0

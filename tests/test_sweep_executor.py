@@ -1,0 +1,152 @@
+"""Tests for the sweep execution engine: serial/parallel parity and ordering.
+
+The contract under test (see :mod:`repro.experiments.sweep`):
+
+* ``run_sweep(..., workers=N)`` produces rows **identical** to the
+  serial run — same values, same order — because points are independent,
+  seeded per point, and collected in submission order;
+* executors return results in input order even when later items finish
+  first;
+* the per-point RNG derived from a root seed is stable no matter which
+  executor (or worker) runs the point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments import figure3, figure5
+from repro.experiments.runner import run_many
+from repro.experiments.sweep import (
+    ParallelExecutor,
+    PointTask,
+    SerialExecutor,
+    executor_for,
+    execute_point,
+    run_sweep,
+)
+
+
+def _square_row(value, rng=None):
+    """Module-level row builder (picklable for the parallel path)."""
+    row = {"square": value * value}
+    if rng is not None:
+        row["draw"] = rng.stream("noise").random()
+    return row
+
+
+def _slow_then_fast(item):
+    """Sleep longer for earlier items so completion order reverses."""
+    index, count = item
+    time.sleep(0.05 * (count - index))
+    return index
+
+
+def _identity():
+    return "first"
+
+
+def _other():
+    return "second"
+
+
+class TestExecutorResolution:
+    def test_default_is_serial(self):
+        assert isinstance(executor_for(None), SerialExecutor)
+        assert isinstance(executor_for(1), SerialExecutor)
+
+    def test_workers_above_one_is_parallel(self):
+        executor = executor_for(4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 4
+
+    def test_explicit_executor_wins(self):
+        serial = SerialExecutor()
+        assert executor_for(8, serial) is serial
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelExecutor(0)
+
+
+class TestOrdering:
+    def test_parallel_results_ordered_when_completion_is_not(self):
+        count = 4
+        items = [(index, count) for index in range(count)]
+        results = ParallelExecutor(2).map(_slow_then_fast, items)
+        assert results == list(range(count))
+
+    def test_run_many_preserves_input_order(self):
+        assert run_many([_identity, _other], workers=2) == [
+            "first",
+            "second",
+        ]
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_rows_identical_synthetic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        serial = run_sweep("x", values, _square_row)
+        parallel = run_sweep("x", values, _square_row, workers=4)
+        assert serial.rows == parallel.rows
+        assert parallel.values() == values
+
+    def test_serial_and_parallel_rows_identical_figure3(self):
+        serial = figure3.run(deltas_min=(2, 30))
+        parallel = figure3.run(deltas_min=(2, 30), workers=2)
+        assert serial.rows == parallel.rows
+
+    def test_serial_and_parallel_rows_identical_figure5(self):
+        serial = figure5.run(mutual_deltas_min=(5, 20))
+        parallel = figure5.run(mutual_deltas_min=(5, 20), workers=2)
+        assert serial.rows == parallel.rows
+
+    def test_per_point_rng_is_seed_stable_across_executors(self):
+        values = [1.0, 2.0, 3.0]
+        serial = run_sweep("x", values, _square_row, seed=7)
+        parallel = run_sweep("x", values, _square_row, seed=7, workers=3)
+        assert serial.rows == parallel.rows
+        # Each point gets an independent stream: draws differ by point.
+        draws = serial.column("draw")
+        assert len(set(draws)) == len(draws)
+
+    def test_different_root_seeds_change_point_draws(self):
+        values = [1.0]
+        a = run_sweep("x", values, _square_row, seed=1)
+        b = run_sweep("x", values, _square_row, seed=2)
+        assert a.rows[0]["draw"] != b.rows[0]["draw"]
+
+
+class TestRunSpec:
+    def test_point_task_is_picklable(self):
+        task = PointTask(
+            build_row=_square_row,
+            parameter="x",
+            index=0,
+            value=3.0,
+            extra_columns={"fixed": "yes"},
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert execute_point(clone) == {
+            "x": 3.0,
+            "fixed": "yes",
+            "square": 9.0,
+        }
+
+    def test_reserved_columns_rejected_in_parallel_too(self):
+        with pytest.raises(ExperimentError, match="reserved"):
+            run_sweep("square", [2.0], _square_row, workers=2)
+
+    def test_extra_columns_merged_in_parallel(self):
+        result = run_sweep(
+            "x",
+            [1.0, 2.0],
+            _square_row,
+            extra_columns={"trace": "cnn"},
+            workers=2,
+        )
+        assert [row["trace"] for row in result.rows] == ["cnn", "cnn"]

@@ -5,14 +5,20 @@ Walks every ``repro`` submodule and emits one line per public class or
 function (defined in that module, not re-exported) with the first line
 of its docstring.  Run from the repository root::
 
-    python tools/gen_api_md.py
+    python tools/gen_api_md.py            # rewrite docs/API.md
+    python tools/gen_api_md.py --check    # exit 1 if docs/API.md is stale
+
+``--check`` is what CI runs: it never writes, it only diffs the file on
+disk against what the docstrings generate.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import pkgutil
+import sys
 from pathlib import Path
 
 import repro
@@ -71,10 +77,34 @@ def generate() -> str:
     return "\n".join(lines) + "\n"
 
 
-def main() -> None:
+def check() -> int:
+    """Return 0 when docs/API.md matches the docstrings, 1 otherwise."""
+    expected = generate()
+    if not OUTPUT.exists():
+        print(f"{OUTPUT} is missing; run `python tools/gen_api_md.py`")
+        return 1
+    if OUTPUT.read_text() != expected:
+        print(f"{OUTPUT} is stale; run `python tools/gen_api_md.py`")
+        return 1
+    print(f"{OUTPUT} is in sync with docstrings")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify docs/API.md is current instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check()
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT.write_text(generate())
     print(f"wrote {OUTPUT}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
