@@ -27,6 +27,8 @@ import os
 
 import pytest
 
+from repro.sim import kernel as _kernel_module
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -77,7 +79,16 @@ def run_once(benchmark, workers):
     """Run a callable exactly once under pytest-benchmark timing.
 
     Injects the suite-wide ``workers`` knob into any experiment whose
-    signature accepts it (explicit ``workers=`` in the call wins).
+    signature accepts it (explicit ``workers=`` in the call wins), and
+    records simulation throughput in ``benchmark.extra_info`` so
+    ``tools/bench_report.py`` can consume every benchmark uniformly:
+
+    * ``events_processed`` — kernel events run in this process during
+      the benchmark (with ``workers`` > 1 the sweep points execute in
+      worker processes, so this counts only main-process events);
+    * ``events_per_sec`` — ``events_processed`` over the timed wall
+      clock (0.0 when nothing ran in-process);
+    * ``workers`` — the effective parallelism knob (1 = serial).
     """
 
     def runner(func, *args, **kwargs):
@@ -87,8 +98,20 @@ def run_once(benchmark, workers):
             and _accepts_workers(func)
         ):
             kwargs["workers"] = workers
-        return benchmark.pedantic(
+        events_before = _kernel_module.total_events_processed()
+        result = benchmark.pedantic(
             func, args=args, kwargs=kwargs, rounds=1, iterations=1
         )
+        events = _kernel_module.total_events_processed() - events_before
+        elapsed = None
+        stats = getattr(benchmark, "stats", None)
+        if stats is not None:  # absent under --benchmark-disable
+            elapsed = stats.stats.total
+        benchmark.extra_info["events_processed"] = events
+        benchmark.extra_info["events_per_sec"] = (
+            events / elapsed if elapsed else 0.0
+        )
+        benchmark.extra_info["workers"] = workers if workers is not None else 1
+        return result
 
     return runner

@@ -1,0 +1,55 @@
+"""Microbenchmark — streaming metrics ingest.
+
+Times the O(1)-per-sample accumulators from
+:mod:`repro.metrics.streaming` on a synthetic sample stream: the
+moments accumulator, the reservoir sampler, and the bin counter behind
+:func:`repro.analysis.timeseries.bin_count`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metrics.streaming import (
+    ReservoirSample,
+    StreamingBinCounter,
+    StreamingMoments,
+)
+
+SAMPLES = 50_000
+_RNG = random.Random(20260729)
+_VALUES = [_RNG.uniform(0.0, 3600.0) for _ in range(SAMPLES)]
+
+
+def _ingest_moments() -> StreamingMoments:
+    moments = StreamingMoments()
+    moments.add_many(_VALUES)
+    return moments
+
+
+def _ingest_reservoir() -> ReservoirSample:
+    reservoir = ReservoirSample(512, rng=random.Random(7))
+    for value in _VALUES:
+        reservoir.add(value)
+    return reservoir
+
+
+def _ingest_bins() -> StreamingBinCounter:
+    counter = StreamingBinCounter(start=0.0, end=3600.0, bin_width=60.0)
+    counter.add_many(_VALUES)
+    return counter
+
+
+def test_collector_moments_ingest(benchmark):
+    moments = benchmark(_ingest_moments)
+    assert moments.count == SAMPLES
+
+
+def test_collector_reservoir_ingest(benchmark):
+    reservoir = benchmark(_ingest_reservoir)
+    assert reservoir.seen == SAMPLES
+
+
+def test_collector_bin_ingest(benchmark):
+    counter = benchmark(_ingest_bins)
+    assert counter.total == SAMPLES

@@ -1,0 +1,43 @@
+"""Microbenchmark — popularity sampler draws.
+
+Times Zipf object selection, which runs once per generated client
+request.  The alias-method sampler makes each draw O(1) regardless of
+catalogue size; the catalogue here is large enough (10k objects) that
+the old O(log n) CDF bisection would be clearly visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.types import ObjectId
+from repro.workload.popularity import AliasSampler, ZipfPopularity
+
+OBJECTS = [ObjectId(f"obj-{i}") for i in range(10_000)]
+DRAWS = 50_000
+
+
+def _zipf_draws() -> int:
+    model = ZipfPopularity(OBJECTS, exponent=0.8, rng=random.Random(42))
+    choose = model.choose
+    for _ in range(DRAWS):
+        choose()
+    return DRAWS
+
+
+def _alias_draws() -> int:
+    sampler = AliasSampler(
+        [1.0 / (i + 1) for i in range(len(OBJECTS))], random.Random(42)
+    )
+    draw = sampler.draw_index
+    for _ in range(DRAWS):
+        draw()
+    return DRAWS
+
+
+def test_sampler_zipf_draws(benchmark):
+    assert benchmark(_zipf_draws) == DRAWS
+
+
+def test_sampler_alias_draws(benchmark):
+    assert benchmark(_alias_draws) == DRAWS

@@ -1,0 +1,57 @@
+"""Microbenchmark — timer churn.
+
+The refresh scheduler re-arms one :class:`RestartableTimer` per object
+on every poll, and mutual triggers pull timers in (cancel + reschedule).
+Both patterns stress lazy cancellation in the kernel heap.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Kernel
+from repro.sim.timers import RestartableTimer
+
+FIRINGS = 10_000
+
+
+def _rearm_churn() -> int:
+    kernel = Kernel()
+    fired = 0
+
+    def on_fire(_now: float) -> None:
+        nonlocal fired
+        fired += 1
+        if fired < FIRINGS:
+            timer.arm_after(1.0)
+
+    timer = RestartableTimer(kernel, on_fire, label="bench")
+    timer.arm_after(1.0)
+    kernel.run()
+    return fired
+
+
+def _pull_in_churn() -> int:
+    """Each firing is preceded by a cancel + earlier reschedule."""
+    kernel = Kernel()
+    fired = 0
+
+    def on_fire(_now: float) -> None:
+        nonlocal fired
+        fired += 1
+        if fired < FIRINGS:
+            timer.arm_after(2.0)
+            timer.pull_in_to(kernel.now() + 1.0)
+
+    timer = RestartableTimer(kernel, on_fire, label="bench")
+    timer.arm_after(1.0)
+    kernel.run()
+    return fired
+
+
+def test_timer_rearm_churn(benchmark):
+    fired = benchmark(_rearm_churn)
+    assert fired == FIRINGS
+
+
+def test_timer_pull_in_churn(benchmark):
+    fired = benchmark(_pull_in_churn)
+    assert fired == FIRINGS

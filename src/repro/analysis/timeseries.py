@@ -10,7 +10,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.types import Seconds
 
@@ -49,22 +49,24 @@ class Series:
 
 
 def bin_count(
-    times: Sequence[Seconds],
+    times: Iterable[Seconds],
     *,
     start: Seconds,
     end: Seconds,
     bin_width: Seconds,
     label: str = "",
 ) -> Series:
-    """Count event instants per bin over [start, end)."""
-    if end <= start:
-        raise ValueError(f"end ({end}) must exceed start ({start})")
-    n = int(math.ceil((end - start) / bin_width))
-    counts = [0.0] * n
-    for t in times:
-        if start <= t < end:
-            counts[int((t - start) / bin_width)] += 1.0
-    return Series(start=start, bin_width=bin_width, values=tuple(counts), label=label)
+    """Count event instants per bin over [start, end).
+
+    ``times`` may be any iterable (callers can stream event times from
+    a log without materialising a list); each instant is binned in O(1)
+    by :class:`repro.metrics.streaming.StreamingBinCounter`.
+    """
+    from repro.metrics.streaming import StreamingBinCounter
+
+    counter = StreamingBinCounter(start=start, end=end, bin_width=bin_width)
+    counter.add_many(times)
+    return counter.to_series(label=label)
 
 
 def sample_step_function(

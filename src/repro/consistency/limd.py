@@ -35,7 +35,6 @@ from repro.core.types import (
     PollOutcome,
     Seconds,
     TTRBounds,
-    require_fraction,
     require_positive,
 )
 

@@ -31,6 +31,10 @@ from repro.groups.registry import GroupRegistry
 from repro.proxy.proxy import ProxyCache
 from repro.sim.stats import Counter
 
+#: Memoised suppressed-poll counter names keyed by suppression reason,
+#: so the per-consideration hot path does no f-string formatting.
+_SUPPRESSED_COUNTER_NAMES: Dict[str, str] = {}
+
 
 class MutualTemporalMode(enum.Enum):
     """Which Section 3.2 approach the coordinator applies."""
@@ -177,7 +181,11 @@ class MutualTemporalCoordinator:
                 self._decisions.append(decision)
                 self.counters.increment("considerations")
                 if not decision.triggered:
-                    self.counters.increment(f"suppressed_{decision.reason}")
+                    name = _SUPPRESSED_COUNTER_NAMES.get(decision.reason)
+                    if name is None:
+                        name = f"suppressed_{decision.reason}"
+                        _SUPPRESSED_COUNTER_NAMES[decision.reason] = name
+                    self.counters.increment(name)
                     continue
                 self.counters.increment("triggered_polls")
                 self._triggering = True

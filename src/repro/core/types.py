@@ -59,19 +59,51 @@ class UpdateRecord:
             raise ValueError(f"value must be finite, got {self.value}")
 
 
-@dataclass(frozen=True)
 class ObjectSnapshot:
     """The state of an object as observed at a specific instant.
 
     A snapshot captures what a poll returns: the version, the time that
     version was created at the server (its *origination time*, i.e. the
     HTTP ``Last-Modified`` timestamp), and the value if any.
+
+    Implemented as an immutable-by-convention ``__slots__`` record (one
+    is allocated per simulated poll and per server-state query, so
+    construction is on the simulation's hot path).
     """
 
-    object_id: ObjectId
-    version: Version
-    last_modified: Seconds
-    value: Optional[float] = None
+    __slots__ = ("object_id", "version", "last_modified", "value")
+
+    def __init__(
+        self,
+        object_id: ObjectId,
+        version: Version,
+        last_modified: Seconds,
+        value: Optional[float] = None,
+    ) -> None:
+        self.object_id = object_id
+        self.version = version
+        self.last_modified = last_modified
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObjectSnapshot):
+            return NotImplemented
+        return (
+            self.object_id == other.object_id
+            and self.version == other.version
+            and self.last_modified == other.last_modified
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.object_id, self.version, self.last_modified, self.value))
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectSnapshot(object_id={self.object_id!r}, "
+            f"version={self.version!r}, last_modified={self.last_modified!r}, "
+            f"value={self.value!r})"
+        )
 
     def is_newer_than(self, other: "ObjectSnapshot") -> bool:
         """Return True if this snapshot is a strictly newer version."""
@@ -83,12 +115,13 @@ class ObjectSnapshot:
         return self.version > other.version
 
 
-@dataclass(frozen=True)
 class PollOutcome:
     """The result of one proxy poll of the origin server.
 
     The consistency policies (LIMD, adaptive TTR, ...) consume these
-    outcomes to adapt their refresh intervals.
+    outcomes to adapt their refresh intervals.  A ``__slots__`` record
+    (one per simulated poll) rather than a dataclass, for the same
+    hot-path reasons as :class:`ObjectSnapshot`.
 
     Attributes:
         poll_time: When the poll was issued (proxy clock == server clock;
@@ -106,11 +139,57 @@ class PollOutcome:
             poll, when history is available; ``None`` otherwise.
     """
 
-    poll_time: Seconds
-    modified: bool
-    snapshot: ObjectSnapshot
-    first_unseen_update: Optional[Seconds] = None
-    updates_since_last_poll: Optional[int] = None
+    __slots__ = (
+        "poll_time",
+        "modified",
+        "snapshot",
+        "first_unseen_update",
+        "updates_since_last_poll",
+    )
+
+    def __init__(
+        self,
+        poll_time: Seconds,
+        modified: bool,
+        snapshot: ObjectSnapshot,
+        first_unseen_update: Optional[Seconds] = None,
+        updates_since_last_poll: Optional[int] = None,
+    ) -> None:
+        self.poll_time = poll_time
+        self.modified = modified
+        self.snapshot = snapshot
+        self.first_unseen_update = first_unseen_update
+        self.updates_since_last_poll = updates_since_last_poll
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PollOutcome):
+            return NotImplemented
+        return (
+            self.poll_time == other.poll_time
+            and self.modified == other.modified
+            and self.snapshot == other.snapshot
+            and self.first_unseen_update == other.first_unseen_update
+            and self.updates_since_last_poll == other.updates_since_last_poll
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.poll_time,
+                self.modified,
+                self.snapshot,
+                self.first_unseen_update,
+                self.updates_since_last_poll,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PollOutcome(poll_time={self.poll_time!r}, "
+            f"modified={self.modified!r}, snapshot={self.snapshot!r}, "
+            f"first_unseen_update={self.first_unseen_update!r}, "
+            f"updates_since_last_poll={self.updates_since_last_poll!r})"
+        )
 
 
 @dataclass

@@ -10,7 +10,6 @@ headers.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.errors import ProtocolError
@@ -40,11 +39,27 @@ class Headers:
     and preserve insertion order for deterministic serialisation.
     """
 
+    __slots__ = ("_entries",)
+
     def __init__(self, initial: Optional[Mapping[str, str]] = None) -> None:
         self._entries: Dict[str, str] = {}
         if initial:
             for name, value in initial.items():
                 self.set(name, value)
+
+    @classmethod
+    def _presanitized(cls, entries: Dict[str, str]) -> "Headers":
+        """Wrap a dict whose keys are already lower-case, without copying.
+
+        Internal fast path for the per-poll message factories
+        (:func:`conditional_get`,
+        :func:`repro.httpsim.semantics.evaluate_conditional_get`), which
+        only use the module's lower-case header-name constants.  The
+        caller must hand over ownership of ``entries``.
+        """
+        headers = cls.__new__(cls)
+        headers._entries = entries
+        return headers
 
     def set(self, name: str, value: str) -> None:
         if not name:
@@ -75,25 +90,61 @@ class Headers:
         return f"Headers({self._entries})"
 
 
-@dataclass
-class Request:
-    """A simulated HTTP request from proxy (or client) to a server."""
+#: Sentinel marking a typed accessor as not-yet-parsed.
+_UNSET = object()
 
-    method: Method
-    object_id: ObjectId
-    headers: Headers = field(default_factory=Headers)
-    issued_at: Seconds = 0.0
+
+class Request:
+    """A simulated HTTP request from proxy (or client) to a server.
+
+    The headers are authoritative — a request hand-built from strings
+    behaves identically to one built by :func:`conditional_get` — but
+    the typed accessors memoize their parse (and the message factories
+    pre-fill them), so the per-poll hot path never re-parses a header
+    it already has in typed form.  Consequently ``headers`` must be
+    treated as immutable once a typed accessor has been read — and on
+    factory-built messages (:func:`conditional_get`,
+    :func:`repro.httpsim.semantics.evaluate_conditional_get`) from
+    construction, since the factory pre-fills the accessors.  To vary a
+    message, build a new one (see
+    ``repro.server.origin._without_history_request``).
+    """
+
+    __slots__ = ("method", "object_id", "headers", "issued_at", "_ims", "_wants_history")
+
+    def __init__(
+        self,
+        method: Method,
+        object_id: ObjectId,
+        headers: Optional[Headers] = None,
+        issued_at: Seconds = 0.0,
+    ) -> None:
+        self.method = method
+        self.object_id = object_id
+        self.headers = headers if headers is not None else Headers()
+        self.issued_at = issued_at
+        self._ims = _UNSET
+        self._wants_history = _UNSET
 
     @property
     def if_modified_since(self) -> Optional[Seconds]:
         """Parsed ``If-Modified-Since`` timestamp, if present."""
-        raw = self.headers.get(h.IF_MODIFIED_SINCE)
-        return h.parse_time(raw) if raw is not None else None
+        ims = self._ims
+        if ims is _UNSET:
+            raw = self.headers.get(h.IF_MODIFIED_SINCE)
+            ims = h.parse_time(raw) if raw is not None else None
+            self._ims = ims
+        return ims
 
     @property
     def wants_history(self) -> bool:
         """True if the request asks for the modification-history extension."""
-        return self.headers.get(h.WANT_HISTORY, "").lower() in ("1", "true", "yes")
+        wants = self._wants_history
+        if wants is _UNSET:
+            raw = self.headers.get(h.WANT_HISTORY, "")
+            wants = raw.lower() in ("1", "true", "yes")
+            self._wants_history = wants
+        return wants
 
     @property
     def consistency_delta(self) -> Optional[float]:
@@ -107,38 +158,100 @@ class Request:
         raw = self.headers.get(h.MUTUAL_CONSISTENCY_DELTA)
         return float(raw) if raw is not None else None
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (
+            self.method == other.method
+            and self.object_id == other.object_id
+            and self.headers == other.headers
+            and self.issued_at == other.issued_at
+        )
 
-@dataclass
+    def __repr__(self) -> str:
+        return (
+            f"Request(method={self.method!r}, object_id={self.object_id!r}, "
+            f"headers={self.headers!r}, issued_at={self.issued_at!r})"
+        )
+
+
 class Response:
-    """A simulated HTTP response."""
+    """A simulated HTTP response.
 
-    status: Status
-    object_id: ObjectId
-    headers: Headers = field(default_factory=Headers)
-    served_at: Seconds = 0.0
+    As with :class:`Request`, the headers are authoritative and the
+    typed accessors (``last_modified``, ``version``, ...) memoize their
+    parse.  :func:`repro.httpsim.semantics.evaluate_conditional_get`
+    pre-fills them with the server-side values it serialised, so the
+    proxy's poll-completion path reads plain attributes instead of
+    re-parsing header strings.  The same immutability rule applies: do
+    not mutate ``headers`` on a factory-built response (or after a
+    typed accessor read on a hand-built one); build a new message
+    instead.
+    """
+
+    __slots__ = (
+        "status",
+        "object_id",
+        "headers",
+        "served_at",
+        "_last_modified",
+        "_version",
+        "_value",
+        "_history",
+    )
+
+    def __init__(
+        self,
+        status: Status,
+        object_id: ObjectId,
+        headers: Optional[Headers] = None,
+        served_at: Seconds = 0.0,
+    ) -> None:
+        self.status = status
+        self.object_id = object_id
+        self.headers = headers if headers is not None else Headers()
+        self.served_at = served_at
+        self._last_modified = _UNSET
+        self._version = _UNSET
+        self._value = _UNSET
+        self._history = _UNSET
 
     @property
     def last_modified(self) -> Optional[Seconds]:
-        raw = self.headers.get(h.LAST_MODIFIED)
-        return h.parse_time(raw) if raw is not None else None
+        parsed = self._last_modified
+        if parsed is _UNSET:
+            raw = self.headers.get(h.LAST_MODIFIED)
+            parsed = h.parse_time(raw) if raw is not None else None
+            self._last_modified = parsed
+        return parsed
 
     @property
     def version(self) -> Optional[int]:
-        raw = self.headers.get(h.VERSION)
-        return int(raw) if raw is not None else None
+        parsed = self._version
+        if parsed is _UNSET:
+            raw = self.headers.get(h.VERSION)
+            parsed = int(raw) if raw is not None else None
+            self._version = parsed
+        return parsed
 
     @property
     def value(self) -> Optional[float]:
-        raw = self.headers.get(h.VALUE)
-        return float(raw) if raw is not None else None
+        parsed = self._value
+        if parsed is _UNSET:
+            raw = self.headers.get(h.VALUE)
+            parsed = float(raw) if raw is not None else None
+            self._value = parsed
+        return parsed
 
     @property
     def modification_history(self) -> Optional[List[Seconds]]:
         """Parsed history extension header, or None if absent."""
-        raw = self.headers.get(h.MODIFICATION_HISTORY)
-        if raw is None:
-            return None
-        return h.parse_history(raw)
+        parsed = self._history
+        if parsed is _UNSET:
+            raw = self.headers.get(h.MODIFICATION_HISTORY)
+            parsed = h.parse_history(raw) if raw is not None else None
+            self._history = parsed
+        return parsed
 
     def require_ok_or_not_modified(self) -> "Response":
         """Assert the response is 200 or 304 (the poll-path statuses)."""
@@ -148,6 +261,22 @@ class Response:
                 f"{int(self.status)}"
             )
         return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Response):
+            return NotImplemented
+        return (
+            self.status == other.status
+            and self.object_id == other.object_id
+            and self.headers == other.headers
+            and self.served_at == other.served_at
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Response(status={self.status!r}, object_id={self.object_id!r}, "
+            f"headers={self.headers!r}, served_at={self.served_at!r})"
+        )
 
 
 def conditional_get(
@@ -160,18 +289,24 @@ def conditional_get(
     issued_at: Seconds = 0.0,
 ) -> Request:
     """Build an ``If-Modified-Since`` GET as a proxy poll would issue."""
-    hdrs = Headers()
+    entries: Dict[str, str] = {}
     if if_modified_since is not None:
-        hdrs.set(h.IF_MODIFIED_SINCE, h.format_time(if_modified_since))
+        entries[h.IF_MODIFIED_SINCE] = h.format_time(if_modified_since)
     if want_history:
-        hdrs.set(h.WANT_HISTORY, "1")
+        entries[h.WANT_HISTORY] = "1"
     if consistency_delta is not None:
-        hdrs.set(h.CONSISTENCY_DELTA, repr(consistency_delta))
+        entries[h.CONSISTENCY_DELTA] = repr(consistency_delta)
     if mutual_consistency_delta is not None:
-        hdrs.set(h.MUTUAL_CONSISTENCY_DELTA, repr(mutual_consistency_delta))
-    return Request(
+        entries[h.MUTUAL_CONSISTENCY_DELTA] = repr(mutual_consistency_delta)
+    hdrs = Headers._presanitized(entries)
+    request = Request(
         method=Method.GET,
         object_id=object_id,
         headers=hdrs,
         issued_at=issued_at,
     )
+    # Pre-fill the typed accessors with the values just serialised (the
+    # header round-trip is exact, so this is purely a parse saved).
+    request._ims = if_modified_since
+    request._wants_history = bool(want_history)
+    return request

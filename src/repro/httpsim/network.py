@@ -81,6 +81,9 @@ class Network:
         self._latency = latency
         self._rng = rng
         self._requests_sent = 0
+        #: Cached latency-model check so per-poll callers can branch on a
+        #: plain attribute (the LatencyModel is immutable).
+        self.synchronous: bool = latency.is_synchronous
 
     @property
     def latency(self) -> LatencyModel:
@@ -90,6 +93,17 @@ class Network:
     def requests_sent(self) -> int:
         return self._requests_sent
 
+    def exchange_sync(self, request: Request, handler: ServerHandler) -> Response:
+        """Run a zero-latency round trip inline and return the response.
+
+        Hot-path variant of :meth:`exchange` for synchronous networks:
+        the caller consumes the response directly instead of paying for
+        a per-poll continuation closure.  Only valid when
+        :attr:`synchronous` is true.
+        """
+        self._requests_sent += 1
+        return handler(request, self._kernel.now())
+
     def exchange(
         self,
         request: Request,
@@ -98,11 +112,10 @@ class Network:
     ) -> None:
         """Send ``request`` to ``handler``; deliver the response to
         ``callback`` after the modelled round trip."""
-        self._requests_sent += 1
-        if self._latency.is_synchronous:
-            response = handler(request, self._kernel.now())
-            callback(response)
+        if self.synchronous:
+            callback(self.exchange_sync(request, handler))
             return
+        self._requests_sent += 1
 
         forward = self._latency.sample_one_way(self._rng)
 

@@ -11,6 +11,7 @@ and property-tested in isolation.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Optional, Protocol, Sequence
 
 from repro.core.types import Seconds
@@ -48,6 +49,7 @@ def evaluate_conditional_get(
     version: Optional[int],
     value: Optional[float],
     history_times: Sequence[Seconds],
+    wants_history: Optional[bool] = None,
 ) -> Response:
     """Answer a conditional GET given the object's server-side state.
 
@@ -60,50 +62,74 @@ def evaluate_conditional_get(
         value: Current value for valued objects, else ``None``.
         history_times: All modification times up to ``now`` (ascending).
             Used to populate the history extension header.
+        wants_history: Pre-parsed ``request.wants_history``, when the
+            caller has already computed it (avoids re-parsing the header
+            on the per-poll hot path); ``None`` reads it from the
+            request.
 
     Returns:
         A 404, 304, or 200 response per HTTP/1.1 semantics.
     """
     if last_modified is None or version is None:
-        return Response(
+        response = Response(
             status=Status.NOT_FOUND,
             object_id=request.object_id,
-            headers=Headers({h.DATE: h.format_time(now)}),
+            headers=Headers._presanitized({h.DATE: h.format_time(now)}),
             served_at=now,
         )
+        response._last_modified = None
+        response._version = None
+        response._value = None
+        response._history = None
+        return response
 
+    if wants_history is None:
+        wants_history = request.wants_history
     ims = request.if_modified_since
-    headers = Headers({h.DATE: h.format_time(now)})
+    entries = {h.DATE: h.format_time(now)}
 
     if ims is not None and last_modified <= ims:
         # Unchanged since the caller's timestamp → 304.  Per RFC 2616 a
         # 304 must not carry entity headers, but Last-Modified is
         # permitted and useful; we include it plus the version so the
         # proxy can re-validate bookkeeping.
-        headers.set(h.LAST_MODIFIED, h.format_time(last_modified))
-        headers.set(h.VERSION, str(version))
-        if request.wants_history:
-            headers.set(h.MODIFICATION_HISTORY, h.format_history([]))
-        return Response(
+        entries[h.LAST_MODIFIED] = h.format_time(last_modified)
+        entries[h.VERSION] = str(version)
+        if wants_history:
+            entries[h.MODIFICATION_HISTORY] = ""
+        response = Response(
             status=Status.NOT_MODIFIED,
             object_id=request.object_id,
-            headers=headers,
+            headers=Headers._presanitized(entries),
             served_at=now,
         )
+        # Pre-fill the typed accessors with the values just serialised
+        # (the header round-trip is exact — repr/float and str/int).
+        response._last_modified = last_modified
+        response._version = version
+        response._value = None
+        response._history = [] if wants_history else None
+        return response
 
-    headers.set(h.LAST_MODIFIED, h.format_time(last_modified))
-    headers.set(h.VERSION, str(version))
+    entries[h.LAST_MODIFIED] = h.format_time(last_modified)
+    entries[h.VERSION] = str(version)
     if value is not None:
-        headers.set(h.VALUE, repr(value))
-    if request.wants_history:
+        entries[h.VALUE] = repr(value)
+    unseen: Optional[List[Seconds]] = None
+    if wants_history:
         unseen = _history_since(history_times, ims)
-        headers.set(h.MODIFICATION_HISTORY, h.format_history(unseen))
-    return Response(
+        entries[h.MODIFICATION_HISTORY] = h.format_history(unseen)
+    response = Response(
         status=Status.OK,
         object_id=request.object_id,
-        headers=headers,
+        headers=Headers._presanitized(entries),
         served_at=now,
     )
+    response._last_modified = last_modified
+    response._version = version
+    response._value = value
+    response._history = unseen
+    return response
 
 
 def _history_since(
@@ -111,12 +137,14 @@ def _history_since(
 ) -> List[Seconds]:
     """Modification times strictly after ``since`` (all times if None).
 
-    Truncated to the most recent :data:`MAX_HISTORY_LENGTH` entries.
+    ``history_times`` is ascending, so the cut point is found by
+    bisection rather than a full scan.  Truncated to the most recent
+    :data:`MAX_HISTORY_LENGTH` entries.
     """
     if since is None:
-        unseen = list(history_times)
+        start = 0
     else:
-        unseen = [t for t in history_times if t > since]
-    if len(unseen) > MAX_HISTORY_LENGTH:
-        unseen = unseen[-MAX_HISTORY_LENGTH:]
-    return unseen
+        start = bisect_right(history_times, since)
+    if len(history_times) - start > MAX_HISTORY_LENGTH:
+        start = len(history_times) - MAX_HISTORY_LENGTH
+    return list(history_times[start:])

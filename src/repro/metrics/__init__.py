@@ -32,6 +32,12 @@ from repro.metrics.mutual import (
     mutually_consistent_at,
     validity_interval,
 )
+from repro.metrics.streaming import (
+    ReservoirSample,
+    StreamingBinCounter,
+    StreamingMoments,
+)
+from repro.metrics.collector import poll_interval_moments
 from repro.metrics.series import (
     extra_polls_series,
     f_value_series,
@@ -68,6 +74,10 @@ __all__ = [
     "mutual_value_fidelity",
     "mutually_consistent_at",
     "validity_interval",
+    "ReservoirSample",
+    "StreamingBinCounter",
+    "StreamingMoments",
+    "poll_interval_moments",
     "extra_polls_series",
     "f_value_series",
     "polls_per_bin",

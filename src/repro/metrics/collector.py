@@ -22,6 +22,7 @@ from repro.metrics.mutual import (
     mutual_temporal_fidelity,
     mutual_value_fidelity,
 )
+from repro.metrics.streaming import StreamingMoments
 from repro.proxy.proxy import ProxyCache
 from repro.traces.model import UpdateTrace
 
@@ -30,6 +31,25 @@ def poll_times_of(proxy: ProxyCache, object_id: ObjectId) -> List[Seconds]:
     """The times of all completed polls of an object."""
     entry = proxy.entry_for(object_id)
     return [record.time for record in entry.fetch_log]
+
+
+def poll_interval_moments(
+    proxy: ProxyCache, object_id: ObjectId
+) -> StreamingMoments:
+    """Streaming moments of an object's inter-poll intervals.
+
+    One O(1)-per-sample pass over the fetch log — no intermediate
+    interval list — yielding count/mean/variance/min/max of the gaps
+    between consecutive completed polls (the poll-cost side of the
+    paper's fidelity-vs-polls trade-off).
+    """
+    moments = StreamingMoments()
+    previous: Optional[Seconds] = None
+    for record in proxy.entry_for(object_id).fetch_log:
+        if previous is not None:
+            moments.add(record.time - previous)
+        previous = record.time
+    return moments
 
 
 def temporal_fetches_of(

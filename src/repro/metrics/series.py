@@ -35,7 +35,7 @@ def update_frequency_series(
 ) -> Series:
     """Updates per bin over the trace window (Figure 4(a))."""
     return bin_count(
-        [r.time for r in trace.records],
+        (r.time for r in trace.records),
         start=trace.start_time,
         end=trace.end_time,
         bin_width=bin_width,
@@ -93,11 +93,11 @@ def update_ratio_series(
     start = min(trace_a.start_time, trace_b.start_time)
     end = max(trace_a.end_time, trace_b.end_time)
     series_a = bin_count(
-        [r.time for r in trace_a.records],
+        (r.time for r in trace_a.records),
         start=start, end=end, bin_width=bin_width, label="a",
     )
     series_b = bin_count(
-        [r.time for r in trace_b.records],
+        (r.time for r in trace_b.records),
         start=start, end=end, bin_width=bin_width, label="b",
     )
     return ratio_series(series_a, series_b, label=label)
@@ -112,9 +112,9 @@ def extra_polls_series(
     label: str = "extra-polls",
 ) -> Series:
     """Triggered polls per bin (Figure 6(b))."""
-    times = [d.time for d in decisions if d.triggered]
     return bin_count(
-        times, start=start, end=end, bin_width=bin_width, label=label
+        (d.time for d in decisions if d.triggered),
+        start=start, end=end, bin_width=bin_width, label=label,
     )
 
 
@@ -165,7 +165,7 @@ def polls_per_bin(
     """Poll counts per bin for one object (diagnostics)."""
     entry = proxy.entry_for(object_id)
     return bin_count(
-        [record.time for record in entry.fetch_log],
+        (record.time for record in entry.fetch_log),
         start=start,
         end=end,
         bin_width=bin_width,

@@ -73,11 +73,16 @@ class ObjectCache:
         return iter(self._entries)
 
     def get(self, object_id: ObjectId, *, touch: bool = True) -> Optional[CacheEntry]:
-        """Look up an entry; ``touch`` marks it recently/frequently used."""
+        """Look up an entry; ``touch`` marks it recently/frequently used.
+
+        Recency/frequency bookkeeping only matters when eviction can
+        happen, so unbounded caches (the paper's configuration, and the
+        per-poll hot path) skip it entirely.
+        """
         entry = self._entries.get(object_id)
         if entry is None:
             return None
-        if touch:
+        if touch and self._capacity is not None:
             self._entries.move_to_end(object_id)
             self._access_counts[object_id] = self._access_counts.get(object_id, 0) + 1
         return entry

@@ -7,16 +7,18 @@ proxy believed at every instant (the basis for fidelity computation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.events import PollReason
 from repro.core.types import ObjectId, ObjectSnapshot, Seconds
 
 
-@dataclass(frozen=True)
 class FetchRecord:
     """One completed poll/fetch of an object, as the proxy saw it.
+
+    A ``__slots__`` value record rather than a dataclass: one is
+    allocated per simulated poll, so construction cost and per-instance
+    memory are on the simulation's hot path.
 
     Attributes:
         time: When the response was processed at the proxy.
@@ -26,20 +28,55 @@ class FetchRecord:
         reason: Why the poll was issued.
     """
 
-    time: Seconds
-    snapshot: ObjectSnapshot
-    modified: bool
-    reason: PollReason
+    __slots__ = ("time", "snapshot", "modified", "reason")
+
+    def __init__(
+        self,
+        time: Seconds,
+        snapshot: ObjectSnapshot,
+        modified: bool,
+        reason: PollReason,
+    ) -> None:
+        self.time = time
+        self.snapshot = snapshot
+        self.modified = modified
+        self.reason = reason
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FetchRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.snapshot == other.snapshot
+            and self.modified == other.modified
+            and self.reason == other.reason
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.snapshot, self.modified, self.reason))
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchRecord(time={self.time!r}, snapshot={self.snapshot!r}, "
+            f"modified={self.modified!r}, reason={self.reason!r})"
+        )
 
 
 class CacheEntry:
     """The proxy's cached state for one object."""
+
+    __slots__ = ("_object_id", "_snapshot", "_fetch_log", "_hits", "_seen_mod_times")
 
     def __init__(self, object_id: ObjectId) -> None:
         self._object_id = object_id
         self._snapshot: Optional[ObjectSnapshot] = None
         self._fetch_log: List[FetchRecord] = []
         self._hits = 0
+        # Distinct, ascending server modification times observed so far,
+        # maintained incrementally (O(1) per fetch) so serving the
+        # Section 5.1 history header to a downstream proxy needs no
+        # fetch-log scan.
+        self._seen_mod_times: List[Seconds] = []
 
     @property
     def object_id(self) -> ObjectId:
@@ -90,12 +127,7 @@ class CacheEntry:
         that fell between its polls are invisible, exactly the
         degradation a real cache hierarchy exhibits.
         """
-        seen: List[Seconds] = []
-        for record in self._fetch_log:
-            when = record.snapshot.last_modified
-            if not seen or when > seen[-1]:
-                seen.append(when)
-        return seen
+        return list(self._seen_mod_times)
 
     def record_fetch(
         self,
@@ -116,6 +148,10 @@ class CacheEntry:
         )
         self._fetch_log.append(record)
         self._snapshot = snapshot
+        seen = self._seen_mod_times
+        when = snapshot.last_modified
+        if not seen or when > seen[-1]:
+            seen.append(when)
         return record
 
     def record_hit(self) -> None:

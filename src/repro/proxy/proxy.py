@@ -30,6 +30,12 @@ from repro.sim.kernel import Kernel
 from repro.sim.stats import Counter
 from repro.sim.tracing import EventLog
 
+#: Per-reason poll counter names, precomputed so the per-poll hot path
+#: does no f-string formatting.
+_POLL_COUNTER_NAMES: Dict[PollReason, str] = {
+    reason: f"polls_{reason.value}" for reason in PollReason
+}
+
 
 class ProxyCache:
     """A simulated web proxy cache with pluggable consistency policies.
@@ -62,7 +68,13 @@ class ProxyCache:
         self._network = network
         self._cache = cache if cache is not None else ObjectCache()
         self._want_history = want_history
-        self._event_log = event_log
+        # Normalise a disabled log to None: event records are built per
+        # poll, and a disabled log would discard them after the fact —
+        # better to never construct them (EventLog.enabled is fixed at
+        # construction, so this cannot go stale).
+        self._event_log = (
+            event_log if (event_log is not None and event_log.enabled) else None
+        )
         #: Whether a MUTUAL_TRIGGER poll replaces the object's next
         #: scheduled poll (True) or is an additional poll on top of the
         #: unchanged schedule (False, the paper's semantics).
@@ -222,8 +234,9 @@ class ProxyCache:
                 value=None,
                 history_times=(),
             )
+        wants_history = request.wants_history
         history = (
-            entry.known_modification_times() if request.wants_history else ()
+            entry.known_modification_times() if wants_history else ()
         )
         return evaluate_conditional_get(
             request,
@@ -232,6 +245,7 @@ class ProxyCache:
             version=snapshot.version,
             value=snapshot.value,
             history_times=history,
+            wants_history=wants_history,
         )
 
     # ------------------------------------------------------------------
@@ -291,12 +305,20 @@ class ProxyCache:
             issued_at=now,
         )
         self.counters.increment("polls")
-        self.counters.increment(f"polls_{reason.value}")
+        self.counters.increment(_POLL_COUNTER_NAMES[reason])
+
+        network = self._network
+        if network.synchronous:
+            # Zero-latency fast path: consume the response inline rather
+            # than allocating a continuation closure per poll.
+            response = network.exchange_sync(request, server.handle_request)
+            self._complete_poll(object_id, entry, reason, response)
+            return
 
         def on_response(response: Response) -> None:
             self._complete_poll(object_id, entry, reason, response)
 
-        self._network.exchange(request, server.handle_request, on_response)
+        network.exchange(request, server.handle_request, on_response)
 
     def _complete_poll(
         self,
@@ -356,7 +378,14 @@ class ProxyCache:
             first_unseen_update=first_unseen,
             updates_since_last_poll=updates_since,
         )
-        ttr_before = refresher.policy.current_ttr if refresher else None
+        event_log = self._event_log
+        # The pre-poll TTR is only needed for the event log; skip the
+        # policy property access on unlogged (hot-path) runs.
+        ttr_before = (
+            refresher.policy.current_ttr
+            if (event_log is not None and refresher is not None)
+            else None
+        )
         additional = (
             reason is PollReason.MUTUAL_TRIGGER
             and not self.triggered_polls_reschedule
@@ -366,8 +395,8 @@ class ProxyCache:
                 refresher.on_triggered_poll(outcome)
             else:
                 refresher.on_poll_complete(outcome)
-        if self._event_log is not None:
-            self._event_log.record(
+        if event_log is not None:
+            event_log.record(
                 PollEvent(
                     time=now,
                     object_id=object_id,
@@ -379,8 +408,9 @@ class ProxyCache:
             )
         if modified:
             self.counters.increment("polls_modified")
-        for observer in list(self._observers):
-            observer.on_poll_complete(object_id, outcome)
+        if self._observers:
+            for observer in tuple(self._observers):
+                observer.on_poll_complete(object_id, outcome)
 
     def __repr__(self) -> str:
         return (

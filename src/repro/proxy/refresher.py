@@ -28,6 +28,16 @@ PollIssuer = Callable[[ObjectId, PollReason], None]
 class Refresher:
     """Drives periodic refreshes for one cached object."""
 
+    __slots__ = (
+        "_kernel",
+        "_object_id",
+        "_policy",
+        "_issue_poll",
+        "_timer",
+        "_last_poll_time",
+        "_stopped",
+    )
+
     def __init__(
         self,
         kernel: Kernel,

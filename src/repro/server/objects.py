@@ -114,6 +114,16 @@ class ServerObject:
         """All modification times, ascending, including creation."""
         return tuple(self._times)
 
+    def modification_times_view(self) -> Sequence[Seconds]:
+        """Zero-copy view of the modification times (read-only!).
+
+        The HTTP layer consults the history on every poll; copying the
+        whole list per request made history serving O(updates) before
+        the response is even built.  Callers must not mutate the
+        returned sequence.
+        """
+        return self._times
+
     def modifications_between(
         self, start: Seconds, end: Seconds
     ) -> List[UpdateRecord]:

@@ -12,11 +12,15 @@ from typing import Dict, Iterator, Optional
 from repro.core.errors import UnknownObjectError
 from repro.core.events import UpdateAppliedEvent
 from repro.core.types import ObjectId, Seconds
-from repro.httpsim.messages import Request, Response
+from repro.httpsim.messages import Request, Response, Status
 from repro.httpsim.semantics import evaluate_conditional_get
 from repro.server.objects import ServerObject
 from repro.sim.stats import Counter
 from repro.sim.tracing import EventLog
+
+#: Per-status response counter names, precomputed so the per-request
+#: hot path does no f-string formatting.
+_RESPONSE_COUNTER_NAMES = {status: f"responses_{int(status)}" for status in Status}
 
 
 class OriginServer:
@@ -40,7 +44,11 @@ class OriginServer:
         self.name = name
         self.supports_history = supports_history
         self._objects: Dict[ObjectId, ServerObject] = {}
-        self._event_log = event_log
+        # Disabled logs are normalised to None so the per-update path
+        # never builds event records only to discard them.
+        self._event_log = (
+            event_log if (event_log is not None and event_log.enabled) else None
+        )
         self.counters = Counter()
 
     # ------------------------------------------------------------------
@@ -109,8 +117,9 @@ class OriginServer:
                 value=None,
                 history_times=(),
             )
-        wants_history = request.wants_history and self.supports_history
-        if request.wants_history and not self.supports_history:
+        asked_history = request.wants_history
+        wants_history = asked_history and self.supports_history
+        if asked_history and not self.supports_history:
             # Strip the extension ask: a plain HTTP/1.1 server ignores
             # unknown headers, so the response simply lacks history.
             request = _without_history_request(request)
@@ -120,9 +129,10 @@ class OriginServer:
             last_modified=obj.last_modified,
             version=obj.current_version,
             value=obj.current_value,
-            history_times=obj.modification_times() if wants_history else (),
+            history_times=obj.modification_times_view() if wants_history else (),
+            wants_history=wants_history,
         )
-        self.counters.increment(f"responses_{int(response.status)}")
+        self.counters.increment(_RESPONSE_COUNTER_NAMES[response.status])
         return response
 
     def __repr__(self) -> str:

@@ -65,15 +65,18 @@ class UpdateFeeder:
         return self._applied
 
     def _schedule_all(self) -> None:
+        label = f"update.{self._trace.object_id}"
+        schedule_at = self._kernel.schedule_at
+        start_time = self._trace.start_time
         for record in self._trace.records:
-            if record.time <= self._trace.start_time:
+            if record.time <= start_time:
                 # The creation record coincides with the window start;
                 # skip anything not strictly in the future of creation.
                 continue
-            self._kernel.schedule_at(
+            schedule_at(
                 record.time,
                 self._make_apply(record.time, record.value),
-                label=f"update.{self._trace.object_id}",
+                label=label,
             )
             self._scheduled += 1
 

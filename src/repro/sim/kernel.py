@@ -1,9 +1,24 @@
 """Discrete-event simulation kernel.
 
-A classic priority-queue DES: events are ``(time, sequence, callback)``
-entries; the kernel pops the earliest event, advances the clock to its
-timestamp, and invokes the callback.  Ties are broken by insertion order
-(FIFO), which makes runs deterministic for a given seed and schedule.
+A classic priority-queue DES: events are ``(time, sequence, record)``
+tuples on a :mod:`heapq`; the kernel pops the earliest event, advances
+the clock to its timestamp, and invokes the callback.  Ties are broken
+by the monotonically increasing sequence number (FIFO insertion order),
+which makes runs deterministic for a given seed and schedule.
+
+Hot-path design (every simulated poll passes through here several
+times):
+
+* Heap entries are plain tuples, so ordering is resolved by C-level
+  tuple comparison on ``(time, sequence)`` — no rich-comparison methods
+  on event objects ever run, and the sequence tiebreaker guarantees the
+  payload in slot 2 is never compared.
+* The mutable per-event state lives in a ``__slots__`` record
+  (:class:`_Event`) shared between the heap and the
+  :class:`EventHandle` returned to the caller, so cancellation needs no
+  side-table lookup.
+* :meth:`Kernel.step` and :meth:`Kernel.run` bind hot attributes to
+  locals; cancelled events are skipped lazily when popped.
 
 The kernel is deliberately small — no coroutines, no channels — because
 the paper's simulation only needs timers (TTR expirations and trace
@@ -14,9 +29,7 @@ process abstraction on top for components that prefer that style.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import SchedulingInPastError, SimulationError
 from repro.core.types import Seconds
@@ -26,15 +39,26 @@ from repro.core.types import Seconds
 EventCallback = Callable[["Kernel"], None]
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry. Ordered by (time, sequence)."""
+class _Event:
+    """Mutable per-event state shared by the heap entry and its handle.
 
-    time: Seconds
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    Ordering lives in the enclosing ``(time, sequence, event)`` heap
+    tuple, never here — this record only carries the callback and the
+    cancelled/fired flags consulted at pop time.
+    """
+
+    __slots__ = ("time", "callback", "label", "cancelled", "fired")
+
+    def __init__(self, time: Seconds, callback: EventCallback, label: str) -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+
+
+#: A heap entry: (time, sequence, event record).
+_HeapEntry = Tuple[Seconds, int, _Event]
 
 
 class EventHandle:
@@ -46,11 +70,10 @@ class EventHandle:
     bookkeeping bug in the caller), surfaced as ``SimulationError``.
     """
 
-    __slots__ = ("_event", "_fired")
+    __slots__ = ("_event",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _Event) -> None:
         self._event = event
-        self._fired = False
 
     @property
     def time(self) -> Seconds:
@@ -67,42 +90,46 @@ class EventHandle:
 
     @property
     def fired(self) -> bool:
-        return self._fired
+        return self._event.fired
 
     @property
     def pending(self) -> bool:
         """True if the event is still waiting to fire."""
-        return not self._fired and not self._event.cancelled
+        event = self._event
+        return not event.fired and not event.cancelled
 
     def cancel(self) -> None:
         """Cancel the event.  Raises ``SimulationError`` if not pending."""
-        if self._fired:
+        event = self._event
+        if event.fired:
             raise SimulationError(
-                f"cannot cancel event {self._event.label!r}: already fired"
+                f"cannot cancel event {event.label!r}: already fired"
             )
-        if self._event.cancelled:
+        if event.cancelled:
             raise SimulationError(
-                f"cannot cancel event {self._event.label!r}: already cancelled"
+                f"cannot cancel event {event.label!r}: already cancelled"
             )
-        self._event.cancelled = True
+        event.cancelled = True
 
     def cancel_if_pending(self) -> bool:
         """Cancel the event if pending; return whether it was cancelled."""
-        if self.pending:
-            self._event.cancelled = True
+        event = self._event
+        if not event.fired and not event.cancelled:
+            event.cancelled = True
             return True
         return False
 
     def _mark_fired(self) -> None:
-        self._fired = True
+        self._event.fired = True
 
     def __repr__(self) -> str:
+        event = self._event
         state = (
             "cancelled"
-            if self._event.cancelled
-            else ("fired" if self._fired else "pending")
+            if event.cancelled
+            else ("fired" if event.fired else "pending")
         )
-        return f"EventHandle(t={self._event.time}, label={self._event.label!r}, {state})"
+        return f"EventHandle(t={event.time}, label={event.label!r}, {state})"
 
 
 class Kernel:
@@ -117,15 +144,16 @@ class Kernel:
         [5.0]
     """
 
+    __slots__ = ("_now", "_heap", "_sequence", "_running", "_events_processed")
+
     def __init__(self, start_time: Seconds = 0.0) -> None:
         if start_time < 0:
             raise ValueError(f"start_time must be >= 0, got {start_time}")
         self._now: Seconds = start_time
-        self._heap: List[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
         self._running = False
         self._events_processed = 0
-        self._handles: dict[int, EventHandle] = {}
 
     # ------------------------------------------------------------------
     # Clock protocol
@@ -147,13 +175,11 @@ class Kernel:
         """
         if when < self._now:
             raise SchedulingInPastError(self._now, when)
-        event = _ScheduledEvent(
-            time=when, sequence=next(self._sequence), callback=callback, label=label
-        )
-        heapq.heappush(self._heap, event)
-        handle = EventHandle(event)
-        self._handles[event.sequence] = handle
-        return handle
+        event = _Event(when, callback, label)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._heap, (when, sequence, event))
+        return EventHandle(event)
 
     def schedule_after(
         self, delay: Seconds, callback: EventCallback, *, label: str = ""
@@ -172,14 +198,14 @@ class Kernel:
         Returns:
             True if an event was processed, False if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            handle = self._handles.pop(event.sequence, None)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _sequence, event = pop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time
-            if handle is not None:
-                handle._mark_fired()
+            self._now = time
+            event.fired = True
             self._events_processed += 1
             event.callback(self)
             return True
@@ -209,31 +235,33 @@ class Kernel:
             )
         self._running = True
         processed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and processed >= max_events:
                     break
-                head = self._next_pending_time()
-                if head is None:
+                # Drop cancelled heads, then peek the next pending time.
+                while heap and heap[0][2].cancelled:
+                    pop(heap)
+                if not heap:
                     break
-                if until is not None and head > until:
+                time, _sequence, event = heap[0]
+                if until is not None and time > until:
                     break
-                if self.step():
-                    processed += 1
+                pop(heap)
+                self._now = time
+                event.fired = True
+                self._events_processed += 1
+                event.callback(self)
+                processed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            global _TOTAL_EVENTS
+            _TOTAL_EVENTS += processed
         return processed
-
-    def _next_pending_time(self) -> Optional[Seconds]:
-        """Peek the timestamp of the next non-cancelled event."""
-        while self._heap and self._heap[0].cancelled:
-            dropped = heapq.heappop(self._heap)
-            self._handles.pop(dropped.sequence, None)
-        if not self._heap:
-            return None
-        return self._heap[0].time
 
     # ------------------------------------------------------------------
     # Introspection
@@ -241,7 +269,7 @@ class Kernel:
     @property
     def pending_count(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     @property
     def events_processed(self) -> int:
@@ -253,3 +281,16 @@ class Kernel:
             f"Kernel(now={self._now}, pending={self.pending_count}, "
             f"processed={self._events_processed})"
         )
+
+
+#: Process-local running total of events processed by every Kernel.run()
+#: call, used by the benchmark harness to derive events/sec without
+#: threading a kernel reference through each experiment's return value.
+#: (Sweep points executed in worker processes accumulate into their own
+#: process's total; the harness reports the main-process delta.)
+_TOTAL_EVENTS = 0
+
+
+def total_events_processed() -> int:
+    """Events processed by all ``Kernel.run()`` calls in this process."""
+    return _TOTAL_EVENTS

@@ -26,6 +26,8 @@ class RestartableTimer:
     polls may also *pull in* the timer to an earlier instant.
     """
 
+    __slots__ = ("_kernel", "_callback", "_label", "_handle")
+
     def __init__(self, kernel: Kernel, callback: TimerCallback, *, label: str = "") -> None:
         self._kernel = kernel
         self._callback = callback
@@ -90,6 +92,17 @@ class PeriodicTimer:
     ``fire_immediately`` is set), then every ``period`` seconds until
     stopped or until ``stop_after`` is reached.
     """
+
+    __slots__ = (
+        "_kernel",
+        "_period",
+        "_callback",
+        "_stop_after",
+        "_label",
+        "_handle",
+        "_fire_count",
+        "_stopped",
+    )
 
     def __init__(
         self,

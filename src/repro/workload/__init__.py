@@ -2,6 +2,7 @@
 
 from repro.workload.arrivals import ArrivalProcess, PoissonArrivals, RegularArrivals
 from repro.workload.popularity import (
+    AliasSampler,
     PopularityModel,
     RotatingPopularity,
     UniformPopularity,
@@ -10,6 +11,7 @@ from repro.workload.popularity import (
 from repro.workload.requests import RequestStream, RequestStreamConfig
 
 __all__ = [
+    "AliasSampler",
     "ArrivalProcess",
     "PoissonArrivals",
     "RegularArrivals",

@@ -1,0 +1,269 @@
+"""Property tests for the hot-path rewrites (PR 2).
+
+The tuple-keyed kernel heap, the alias popularity sampler, and the
+streaming metric accumulators are all drop-in replacements for simpler
+reference implementations.  These tests pin the equivalences:
+
+* kernel dispatch order equals the reference ``(time, insertion-order)``
+  stable sort — the old rich-comparison kernel's contract — including
+  under lazy cancellation and mid-run scheduling;
+* alias-method draws follow the exact weight distribution (chi-squared
+  tolerance under a fixed seed) and are seed-deterministic;
+* streaming moments/bin counts equal the list-based aggregates they
+  replaced, on random series.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeseries import bin_count
+from repro.core.types import ObjectId
+from repro.metrics.streaming import (
+    ReservoirSample,
+    StreamingBinCounter,
+    StreamingMoments,
+)
+from repro.sim.kernel import Kernel
+from repro.workload.popularity import AliasSampler, ZipfPopularity
+
+# ---------------------------------------------------------------------------
+# Kernel heap ordering / FIFO tie-break
+# ---------------------------------------------------------------------------
+
+times_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=32),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestKernelOrdering:
+    @given(times=times_lists)
+    @settings(max_examples=60)
+    def test_dispatch_matches_stable_sort_reference(self, times):
+        """Events fire in (time, insertion order) — the old kernel's order."""
+        kernel = Kernel()
+        fired = []
+        for index, when in enumerate(times):
+            kernel.schedule_at(
+                when, lambda _k, i=index: fired.append(i)
+            )
+        kernel.run()
+        reference = [
+            i for _, i in sorted((when, i) for i, when in enumerate(times))
+        ]
+        assert fired == reference
+
+    @given(times=times_lists, data=st.data())
+    @settings(max_examples=60)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, data):
+        kernel = Kernel()
+        fired = []
+        handles = []
+        for index, when in enumerate(times):
+            handles.append(
+                kernel.schedule_at(when, lambda _k, i=index: fired.append(i))
+            )
+        to_cancel = data.draw(
+            st.sets(st.integers(0, len(times) - 1), max_size=len(times))
+        )
+        for index in to_cancel:
+            handles[index].cancel()
+        kernel.run()
+        reference = [
+            i
+            for _, i in sorted((when, i) for i, when in enumerate(times))
+            if i not in to_cancel
+        ]
+        assert fired == reference
+        for index, handle in enumerate(handles):
+            assert handle.cancelled == (index in to_cancel)
+            assert handle.fired == (index not in to_cancel)
+
+    @given(times=times_lists)
+    @settings(max_examples=40)
+    def test_same_time_followups_fire_after_existing_ties(self, times):
+        """An event scheduled *at the current instant* from inside a
+        callback runs after every already-queued event at that instant
+        (insertion order is global, monotonic)."""
+        kernel = Kernel()
+        fired = []
+        tie = max(times)
+        for index, when in enumerate(times):
+            kernel.schedule_at(when, lambda _k, i=index: fired.append(i))
+
+        def spawn(k: Kernel) -> None:
+            fired.append("spawner")
+            k.schedule_at(tie, lambda _k: fired.append("followup"))
+
+        kernel.schedule_at(tie, spawn)
+        kernel.run()
+        assert fired[-1] == "followup"
+        assert fired[-2] == "spawner"
+
+    def test_run_until_is_inclusive_and_advances_clock(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule_at(5.0, lambda k: fired.append(k.now()))
+        kernel.schedule_at(10.0, lambda k: fired.append(k.now()))
+        processed = kernel.run(until=5.0)
+        assert processed == 1 and fired == [5.0] and kernel.now() == 5.0
+        kernel.run(until=20.0)
+        assert fired == [5.0, 10.0] and kernel.now() == 20.0
+
+
+# ---------------------------------------------------------------------------
+# Alias sampler distribution
+# ---------------------------------------------------------------------------
+
+weight_lists = st.lists(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestAliasSampler:
+    @given(weights=weight_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_draws_match_exact_distribution(self, weights):
+        """Empirical frequencies track weights within a χ² tolerance."""
+        draws = 4000
+        sampler = AliasSampler(weights, random.Random(1234))
+        counts = [0] * len(weights)
+        for _ in range(draws):
+            counts[sampler.draw_index()] += 1
+        total = sum(weights)
+        chi2 = 0.0
+        for observed, weight in zip(counts, weights):
+            expected = draws * weight / total
+            chi2 += (observed - expected) ** 2 / expected
+        # 99.9th percentile of χ² with up to 11 dof is ~31.3; allow a
+        # generous margin since the seed is fixed anyway.
+        assert chi2 < 40.0
+
+    def test_draws_are_seed_deterministic(self):
+        weights = [5.0, 3.0, 1.0, 1.0]
+        first = AliasSampler(weights, random.Random(7))
+        second = AliasSampler(weights, random.Random(7))
+        assert [first.draw_index() for _ in range(200)] == [
+            second.draw_index() for _ in range(200)
+        ]
+
+    def test_degenerate_single_weight(self):
+        sampler = AliasSampler([3.5], random.Random(0))
+        assert all(sampler.draw_index() == 0 for _ in range(50))
+
+    def test_zero_weight_entries_never_drawn(self):
+        sampler = AliasSampler([0.0, 1.0, 0.0], random.Random(3))
+        assert all(sampler.draw_index() == 1 for _ in range(200))
+
+    def test_zipf_matches_probability_of(self):
+        objects = [ObjectId(f"o{i}") for i in range(20)]
+        model = ZipfPopularity(objects, exponent=1.0, rng=random.Random(99))
+        draws = 30000
+        counts = {obj: 0 for obj in objects}
+        for _ in range(draws):
+            counts[model.choose()] += 1
+        for obj in objects[:5]:  # the head carries enough mass to test
+            expected = model.probability_of(obj)
+            assert abs(counts[obj] / draws - expected) < 0.02
+
+
+# ---------------------------------------------------------------------------
+# Streaming accumulators vs list-based aggregates
+# ---------------------------------------------------------------------------
+
+value_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestStreamingEquivalence:
+    @given(values=value_lists)
+    @settings(max_examples=80)
+    def test_moments_equal_list_based_stats(self, values):
+        moments = StreamingMoments()
+        moments.add_many(values)
+        assert moments.count == len(values)
+        assert moments.minimum == min(values)
+        assert moments.maximum == max(values)
+        assert math.isclose(
+            moments.mean, statistics.fmean(values), rel_tol=1e-9, abs_tol=1e-9
+        )
+        if len(values) >= 2:
+            assert math.isclose(
+                moments.variance,
+                statistics.pvariance(values),
+                rel_tol=1e-6,
+                abs_tol=1e-3,
+            )
+
+    @given(values=value_lists, split=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40)
+    def test_merge_equals_single_pass(self, values, split):
+        split = min(split, len(values))
+        left, right = StreamingMoments(), StreamingMoments()
+        left.add_many(values[:split])
+        right.add_many(values[split:])
+        left.merge(right)
+        single = StreamingMoments()
+        single.add_many(values)
+        assert left.count == single.count
+        assert math.isclose(left.total, single.total, rel_tol=1e-12, abs_tol=1e-9)
+        assert left.minimum == single.minimum
+        assert left.maximum == single.maximum
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=-50.0, max_value=150.0, allow_nan=False),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=80)
+    def test_bin_counter_equals_reference_binning(self, times):
+        start, end, width = 0.0, 100.0, 7.0
+        counter = StreamingBinCounter(start=start, end=end, bin_width=width)
+        counter.add_many(times)
+        # The list-based loop bin_count() used before the rewrite.
+        n = int(math.ceil((end - start) / width))
+        reference = [0.0] * n
+        for t in times:
+            if start <= t < end:
+                reference[int((t - start) / width)] += 1.0
+        assert counter.counts == reference
+        assert counter.dropped == sum(1 for t in times if not start <= t < end)
+        series = bin_count(times, start=start, end=end, bin_width=width)
+        assert list(series.values) == reference
+
+    def test_reservoir_holds_everything_under_capacity(self):
+        reservoir = ReservoirSample(100, rng=random.Random(5))
+        values = [float(i) for i in range(60)]
+        for v in values:
+            reservoir.add(v)
+        assert sorted(reservoir.values()) == values
+        assert reservoir.quantile(0.0) == 0.0
+        assert reservoir.quantile(1.0) == 59.0
+
+    def test_reservoir_is_uniform_enough(self):
+        """Over many trials each element is retained ~capacity/n of the time."""
+        rng = random.Random(11)
+        capacity, n, trials = 10, 40, 400
+        hits = [0] * n
+        for _ in range(trials):
+            reservoir = ReservoirSample(capacity, rng=rng)
+            for i in range(n):
+                reservoir.add(float(i))
+            for kept in reservoir.values():
+                hits[int(kept)] += 1
+        expected = trials * capacity / n
+        for count in hits:
+            assert abs(count - expected) < expected  # within 100% of mean

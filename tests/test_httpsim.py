@@ -12,7 +12,6 @@ from repro.httpsim import headers as h
 from repro.httpsim.messages import (
     Headers,
     Method,
-    Request,
     Response,
     Status,
     conditional_get,

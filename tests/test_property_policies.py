@@ -12,10 +12,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.consistency.adaptive_value import (
-    AdaptiveValueParameters,
-    AdaptiveValueTTRPolicy,
-)
+from repro.consistency.adaptive_value import AdaptiveValueTTRPolicy
 from repro.consistency.mutual_value import (
     GroupBudget,
     PartitionedGroupMvCoordinator,

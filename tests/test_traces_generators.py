@@ -12,7 +12,6 @@ from repro.traces.news import (
     GUARDIAN,
     MIN_UPDATE_SPACING,
     NYT_AP,
-    NYT_REUTERS,
     TABLE2_SPECS,
     DiurnalProfile,
     NewsTraceGenerator,

@@ -7,7 +7,6 @@ import pytest
 from repro.core.errors import TraceFormatError, TraceOrderingError
 from repro.core.types import ObjectId, UpdateRecord
 from repro.traces.model import (
-    TraceMetadata,
     UpdateTrace,
     trace_from_ticks,
     trace_from_times,

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit one benchmark-trajectory point.
+
+Runs the paper-figure benches and the ``benchmarks/perf`` micro tier
+under pytest-benchmark, then distils the machine-readable results into
+a single schema-versioned ``BENCH_<timestamp>.json`` — the repo's
+performance trajectory, one file per recorded run::
+
+    python tools/bench_report.py                 # full suite
+    python tools/bench_report.py --smoke         # CI subset, quick
+    python tools/bench_report.py --workers 2     # parallel sweep points
+    python tools/bench_report.py --out reports/  # where to write
+
+Report schema (``schema`` = ``repro-bench-trajectory/1``):
+
+* ``created_utc`` / ``git_commit`` / ``python`` / ``platform`` — where
+  and when the point was recorded;
+* ``workers`` — the sweep parallelism knob the benches ran with;
+* ``benchmarks[]`` — per benchmark: ``name``, ``group``, ``wall_s``
+  (mean seconds per round), ``rounds``, and the ``extra_info`` recorded
+  by the suite (``events_processed`` / ``events_per_sec`` for figure
+  benches);
+* ``totals`` — summed wall clock, summed simulation events, and the
+  aggregate events/sec over the figure benches.
+
+Exits non-zero if pytest fails, if no benchmarks were collected, or if
+the produced report would be empty/malformed — CI treats any of those
+as a broken trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+PERF_DIR = BENCHMARKS_DIR / "perf"
+
+SCHEMA = "repro-bench-trajectory/1"
+
+#: The quick subset CI records on every push: the two acceptance-gate
+#: figure benches plus every micro.
+SMOKE_FIGURE_BENCHES = ("bench_figure3.py", "bench_figure5.py")
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _pytest_command(
+    targets: List[str], json_path: Path, workers: Optional[int], quick: bool
+) -> List[str]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        # Collect bench_*.py modules when a directory target is given
+        # (the repo has no global pytest config on purpose — the tier-1
+        # run must not pick the benches up).
+        "-o",
+        "python_files=bench_*.py",
+        f"--benchmark-json={json_path}",
+    ]
+    if quick:
+        # Micro-benches calibrate to ~1s each by default; one warm
+        # round per bench is plenty for a trajectory point.
+        cmd += [
+            "--benchmark-warmup=off",
+            "--benchmark-min-rounds=1",
+            "--benchmark-max-time=0.1",
+        ]
+    if workers is not None:
+        cmd += ["--workers", str(workers)]
+    return cmd + targets
+
+
+def _run_pytest(cmd: List[str]) -> int:
+    env_cmd = list(cmd)
+    print("+", " ".join(env_cmd), flush=True)
+    import os
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    return subprocess.run(env_cmd, cwd=REPO_ROOT, env=env).returncode
+
+
+def _distil(raw: Dict, *, workers: Optional[int], smoke: bool) -> Dict:
+    benchmarks = []
+    total_wall = 0.0
+    total_events = 0
+    figure_wall = 0.0
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        extra = bench.get("extra_info", {}) or {}
+        wall = float(stats.get("mean", 0.0))
+        total_wall += wall
+        events = int(extra.get("events_processed", 0) or 0)
+        total_events += events
+        if events:
+            figure_wall += wall
+        benchmarks.append(
+            {
+                "name": bench.get("fullname") or bench.get("name"),
+                "group": bench.get("group"),
+                "wall_s": wall,
+                "rounds": stats.get("rounds"),
+                "extra_info": extra,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "created_utc": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "git_commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workers": workers if workers is not None else 1,
+        "smoke": smoke,
+        "benchmarks": benchmarks,
+        "totals": {
+            "benchmarks": len(benchmarks),
+            "wall_s": total_wall,
+            "events_processed": total_events,
+            "events_per_sec": (
+                total_events / figure_wall if figure_wall > 0 else 0.0
+            ),
+        },
+    }
+
+
+def _validate(report: Dict) -> List[str]:
+    """Return a list of problems (empty = valid)."""
+    problems = []
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema mismatch: {report.get('schema')!r}")
+    if not report.get("benchmarks"):
+        problems.append("no benchmarks recorded")
+    for bench in report.get("benchmarks", []):
+        if not bench.get("name"):
+            problems.append("benchmark with no name")
+        if bench.get("wall_s", 0) <= 0:
+            problems.append(f"non-positive wall_s for {bench.get('name')!r}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI subset: figure3 + figure5 + the perf micros",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sweep points across N worker processes (default serial)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory to write BENCH_<timestamp>.json into",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        targets = [
+            str(BENCHMARKS_DIR / name) for name in SMOKE_FIGURE_BENCHES
+        ] + [str(PERF_DIR)]
+    else:
+        targets = [str(BENCHMARKS_DIR)]
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest-benchmark.json"
+        code = _run_pytest(
+            _pytest_command(targets, json_path, args.workers, quick=args.smoke)
+        )
+        if code != 0:
+            print(f"error: pytest exited with {code}", file=sys.stderr)
+            return code
+        try:
+            raw = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable benchmark json: {exc}", file=sys.stderr)
+            return 1
+
+    report = _distil(raw, workers=args.workers, smoke=args.smoke)
+    problems = _validate(report)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+
+    stamp = _dt.datetime.now(_dt.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    out_path = args.out / f"BENCH_{stamp}.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    totals = report["totals"]
+    print(
+        f"wrote {out_path} — {totals['benchmarks']} benchmarks, "
+        f"{totals['wall_s']:.2f}s wall, "
+        f"{totals['events_per_sec']:,.0f} events/sec"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
