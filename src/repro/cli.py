@@ -9,13 +9,22 @@ Usage (installed or from a checkout)::
     python -m repro figure5 --workers 4           # parallel sweep points
     python -m repro report                    # full Markdown report
     python -m repro ablations                 # all ablation studies
+
+The declarative scenario engine has its own command group::
+
+    python -m repro scenarios list            # every registered scenario
+    python -m repro scenarios describe figure3
+    python -m repro scenarios run flash_crowd --workers 4
+    python -m repro scenarios run figure3 --params trace=guardian
+    python -m repro scenarios run diurnal --values 0.0 0.5 1.0 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     figure3,
@@ -160,6 +169,10 @@ def _list_experiments() -> str:
     for name in sorted(_EXPERIMENTS):
         description, _ = _EXPERIMENTS[name]
         lines.append(f"  {name.ljust(width)}  {description}")
+    lines.append(
+        "\nDeclarative scenarios: `python -m repro scenarios list` "
+        "(run any of them with `scenarios run <name>`)."
+    )
     return "\n".join(lines)
 
 
@@ -225,8 +238,152 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description=(
+            "Declarative scenario engine: list, describe, and run any "
+            "registered scenario (paper figures, ablations, and the "
+            "new workload families) by name."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="enumerate registered scenarios")
+    describe = commands.add_parser(
+        "describe", help="show one scenario's spec (axis, values, params)"
+    )
+    describe.add_argument("name", help="scenario name")
+    run = commands.add_parser("run", help="run one scenario and print rows")
+    run.add_argument("name", help="scenario name")
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"workload seed (default {DEFAULT_SEED})",
+    )
+    run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run scenario points across N worker processes",
+    )
+    run.add_argument(
+        "--params",
+        nargs="*",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override spec parameters; values are parsed as JSON when "
+            "possible (e.g. trace=guardian delta_min=2.5)"
+        ),
+    )
+    run.add_argument(
+        "--values",
+        nargs="*",
+        default=None,
+        metavar="VALUE",
+        help="replace the swept axis values",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the spec, seed, and rows as JSON instead of a table",
+    )
+    return parser
+
+
+def _parse_axis_value(text: str) -> object:
+    """Parse one ``--values`` entry: JSON number if possible, else string."""
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError:
+        return text
+    return value if isinstance(value, (int, float)) else text
+
+
+def _scenarios_main(argv: Sequence[str]) -> int:
+    """Entry point for the ``scenarios`` command group."""
+    from repro.scenarios import (
+        UnknownScenarioError,
+        describe_scenario,
+        get_scenario,
+        list_scenarios,
+        parse_param_overrides,
+        render_scenario,
+        run_scenario,
+    )
+
+    args = build_scenarios_parser().parse_args(argv)
+    if args.command == "list":
+        entries = list_scenarios()
+        width = max(len(entry.spec.name) for entry in entries)
+        lines = ["Registered scenarios:"]
+        for entry in entries:
+            spec = entry.spec
+            lines.append(
+                f"  {spec.name.ljust(width)}  {spec.description}"
+            )
+        lines.append(
+            "\nRun one with `python -m repro scenarios run <name>`; "
+            "inspect its knobs with `scenarios describe <name>`."
+        )
+        print("\n".join(lines))
+        return 0
+
+    try:
+        get_scenario(args.name)
+    except UnknownScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.command == "describe":
+        print(describe_scenario(args.name))
+        return 0
+
+    from repro.core.errors import ReproError
+
+    try:
+        overrides = parse_param_overrides(args.params)
+        values: Optional[List[object]] = (
+            [_parse_axis_value(text) for text in args.values]
+            if args.values is not None
+            else None
+        )
+        result = run_scenario(
+            args.name,
+            seed=args.seed,
+            workers=args.workers,
+            params=overrides,
+            values=values,  # type: ignore[arg-type]
+        )
+    except (ReproError, KeyError, ValueError, TypeError) as exc:
+        # Bad parameter *values* surface here (unknown trace keys,
+        # wrong-shaped pairs, non-positive durations) — same clean
+        # exit as unknown scenario/parameter names.  KeyError.__str__
+        # would wrap the message in quotes; use the bare argument.
+        message = (
+            exc.args[0]
+            if isinstance(exc, KeyError) and exc.args
+            else str(exc)
+        )
+        print(f"invalid scenario configuration: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(render_scenario(result))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: run one experiment and print its output."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":

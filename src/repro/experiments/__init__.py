@@ -11,6 +11,11 @@ Modules:
     * :mod:`repro.experiments.figure7` — Mv approaches (δ sweep).
     * :mod:`repro.experiments.figure8` — f at proxy vs server over time.
     * :mod:`repro.experiments.ablations` — design-choice studies.
+
+Every module's entry point is a thin spec over the declarative
+scenario engine (:mod:`repro.scenarios`): the same experiments are
+listable, overridable, and runnable by name via
+``python -m repro scenarios run <name>``.
 """
 
 from repro.experiments.runner import (

@@ -14,18 +14,19 @@ Each ablation isolates one mechanism and quantifies its effect:
   polls (paper semantics) vs polls that *replace* the next scheduled
   refresh.
 
-Every ablation accepts ``workers``: each configuration in its grid is
-an independent simulation, executed through the same ordered
-serial/parallel executor seam the figure sweeps use
-(:func:`repro.experiments.sweep.executor_for`).  The per-configuration
-point functions are module level and take only picklable arguments
-(traces, parameter dataclasses) so they can cross the process boundary;
-policy factories are closures and are rebuilt inside the point.
+Every ablation is registered as a scenario (``repro scenarios run
+ablation_*``) and its ``ablate_*`` entry point is a thin spec over
+:func:`repro.scenarios.engine.run_scenario`, so each configuration in
+a grid is an independent simulation executed through the same ordered
+serial/parallel executor seam the figure sweeps use (``workers`` > 1
+fans out over worker processes).  The per-configuration point
+functions are module level and take only picklable arguments (traces,
+parameter dataclasses) so they can cross the process boundary; policy
+factories are closures and are rebuilt inside the point.
 """
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.adaptive_value import AdaptiveValueParameters
@@ -44,8 +45,7 @@ from repro.experiments.runner import (
     run_mutual_temporal,
     run_mutual_value_partitioned,
 )
-from repro.experiments.sweep import executor_for
-from repro.experiments.workloads import DEFAULT_SEED, news_trace, stock_trace
+from repro.experiments.workloads import DEFAULT_SEED
 from repro.groups.registry import GroupRegistry
 from repro.httpsim.network import LatencyModel, Network
 from repro.metrics.collector import (
@@ -54,6 +54,7 @@ from repro.metrics.collector import (
     collect_temporal,
 )
 from repro.proxy.proxy import ProxyCache
+from repro.scenarios.engine import run_scenario
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
@@ -61,6 +62,19 @@ from repro.sim.tracing import EventLog
 from repro.traces.model import UpdateTrace
 
 DETECTION_MODES = ("history", "last_modified_only", "inferred")
+
+#: Named LIMD tunings swept by :func:`ablate_limd_parameters` (§3.1).
+LIMD_TUNINGS: Dict[str, LimdParameters] = {
+    "conservative": LimdParameters(linear_increase=0.05, epsilon=0.02),
+    "paper": PAPER_LIMD_PARAMETERS,
+    "optimistic": LimdParameters(linear_increase=0.5, epsilon=0.02),
+    "hard_backoff": LimdParameters(
+        linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.2
+    ),
+    "soft_backoff": LimdParameters(
+        linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.8
+    ),
+}
 
 
 def _history_point(
@@ -102,10 +116,12 @@ def ablate_history(
     therefore backs off hardest / keeps fidelity highest per poll);
     last-modified-only detects the fewest.
     """
-    trace = news_trace(trace_key, seed)
-    return executor_for(workers).map(
-        partial(_history_point, trace=trace, delta=delta), DETECTION_MODES
-    )
+    return run_scenario(
+        "ablation_history",
+        seed=seed,
+        workers=workers,
+        params={"trace": trace_key, "delta_s": delta},
+    ).rows
 
 
 def _threshold_point(
@@ -158,19 +174,17 @@ def ablate_heuristic_threshold(
     (more polls, higher fidelity); high thresholds suppress almost
     everything (fewer polls, lower fidelity).
     """
-    key_a, key_b = pair
-    trace_a = news_trace(key_a, seed)
-    trace_b = news_trace(key_b, seed)
-    return executor_for(workers).map(
-        partial(
-            _threshold_point,
-            trace_a=trace_a,
-            trace_b=trace_b,
-            delta=delta,
-            mutual_delta=mutual_delta,
-        ),
-        list(thresholds),
-    )
+    return run_scenario(
+        "ablation_heuristic_threshold",
+        seed=seed,
+        workers=workers,
+        params={
+            "pair": list(pair),
+            "delta_s": delta,
+            "mutual_delta_s": mutual_delta,
+        },
+        values=tuple(thresholds),
+    ).rows
 
 
 def _partition_point(
@@ -219,19 +233,17 @@ def ablate_partition(
     on the slow object; dynamic apportioning shifts tolerance to the
     slow side and tightens the fast side, improving fidelity per poll.
     """
-    key_a, key_b = pair
-    trace_a = stock_trace(key_a, seed)
-    trace_b = stock_trace(key_b, seed)
-    return executor_for(workers).map(
-        partial(
-            _partition_point,
-            trace_a=trace_a,
-            trace_b=trace_b,
-            mutual_delta=mutual_delta,
-            bounds=bounds,
-        ),
-        [("static", None), ("dynamic", 60.0)],
-    )
+    return run_scenario(
+        "ablation_partition",
+        seed=seed,
+        workers=workers,
+        params={
+            "pair": list(pair),
+            "mutual_delta": mutual_delta,
+            "ttr_min": bounds.ttr_min,
+            "ttr_max": bounds.ttr_max,
+        },
+    ).rows
 
 
 def _smoothing_point(
@@ -277,19 +289,18 @@ def ablate_smoothing(
     polls, higher fidelity) — the paper's prescription for data with
     weak temporal locality.
     """
-    key_a, key_b = pair
-    trace_a = stock_trace(key_a, seed)
-    trace_b = stock_trace(key_b, seed)
-    return executor_for(workers).map(
-        partial(
-            _smoothing_point,
-            trace_a=trace_a,
-            trace_b=trace_b,
-            mutual_delta=mutual_delta,
-            bounds=bounds,
-        ),
-        list(alphas),
-    )
+    return run_scenario(
+        "ablation_smoothing",
+        seed=seed,
+        workers=workers,
+        params={
+            "pair": list(pair),
+            "mutual_delta": mutual_delta,
+            "ttr_min": bounds.ttr_min,
+            "ttr_max": bounds.ttr_max,
+        },
+        values=tuple(alphas),
+    ).rows
 
 
 def _trigger_point(
@@ -350,19 +361,16 @@ def ablate_trigger_semantics(
     triggered poll replace the next scheduled one — re-phases the LIMD
     schedule toward the partner's update instants.
     """
-    key_a, key_b = pair
-    trace_a = news_trace(key_a, seed)
-    trace_b = news_trace(key_b, seed)
-    return executor_for(workers).map(
-        partial(
-            _trigger_point,
-            trace_a=trace_a,
-            trace_b=trace_b,
-            delta=delta,
-            mutual_delta=mutual_delta,
-        ),
-        [("additional", False), ("replace", True)],
-    )
+    return run_scenario(
+        "ablation_trigger_semantics",
+        seed=seed,
+        workers=workers,
+        params={
+            "pair": list(pair),
+            "delta_s": delta,
+            "mutual_delta_s": mutual_delta,
+        },
+    ).rows
 
 
 def _limd_parameters_point(
@@ -404,28 +412,12 @@ def ablate_limd_parameters(
     quicker recovery after violations).  Adaptive m is the paper's
     evaluation setting (m = Δ / observed out-of-sync time).
     """
-    trace = news_trace(trace_key, seed)
-    configurations = [
-        ("conservative", LimdParameters(linear_increase=0.05, epsilon=0.02)),
-        ("paper", PAPER_LIMD_PARAMETERS),
-        ("optimistic", LimdParameters(linear_increase=0.5, epsilon=0.02)),
-        (
-            "hard_backoff",
-            LimdParameters(
-                linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.2
-            ),
-        ),
-        (
-            "soft_backoff",
-            LimdParameters(
-                linear_increase=0.2, epsilon=0.02, multiplicative_decrease=0.8
-            ),
-        ),
-    ]
-    return executor_for(workers).map(
-        partial(_limd_parameters_point, trace=trace, delta=delta),
-        configurations,
-    )
+    return run_scenario(
+        "ablation_limd_parameters",
+        seed=seed,
+        workers=workers,
+        params={"trace": trace_key, "delta_s": delta},
+    ).rows
 
 
 def _latency_point(
@@ -465,10 +457,13 @@ def ablate_latency(
     period stretches by 2·latency and the copy's staleness floor rises —
     fidelity degrades as the one-way latency approaches Δ.
     """
-    trace = news_trace(trace_key, seed)
-    return executor_for(workers).map(
-        partial(_latency_point, trace=trace, delta=delta), list(latencies)
-    )
+    return run_scenario(
+        "ablation_latency",
+        seed=seed,
+        workers=workers,
+        params={"trace": trace_key, "delta_s": delta},
+        values=tuple(latencies),
+    ).rows
 
 
 def render_ablation(rows: List[Dict[str, object]], title: str) -> str:

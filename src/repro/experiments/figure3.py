@@ -15,7 +15,6 @@ fidelity → 1) once Δ exceeds the mean update interval.
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.base import fixed_policy_factory
@@ -23,9 +22,10 @@ from repro.consistency.limd import LimdParameters, limd_policy_factory
 from repro.core.types import MINUTE, Seconds
 from repro.experiments.render import render_dict_rows
 from repro.experiments.runner import run_individual
-from repro.experiments.sweep import SweepResult, run_sweep
-from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.experiments.sweep import SweepResult
+from repro.experiments.workloads import DEFAULT_SEED
 from repro.metrics.collector import collect_temporal
+from repro.scenarios.engine import run_scenario
 from repro.traces.model import UpdateTrace
 
 #: Δ values (minutes) swept by the paper's Figure 3.
@@ -74,15 +74,6 @@ def evaluate_delta(
     }
 
 
-def _sweep_point(
-    delta_min: float, *, trace: UpdateTrace, detection_mode: str
-) -> Dict[str, object]:
-    """Picklable run-spec for one Figure 3 point (needed by workers > 1)."""
-    return evaluate_delta(
-        trace, delta_min * MINUTE, detection_mode=detection_mode
-    )
-
-
 def run(
     *,
     trace_key: str = "cnn_fn",
@@ -91,15 +82,18 @@ def run(
     detection_mode: str = "history",
     workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 3 sweep (``workers`` > 1 runs points in parallel)."""
-    trace = news_trace(trace_key, seed)
-    return run_sweep(
-        "delta_min",
-        deltas_min,
-        partial(_sweep_point, trace=trace, detection_mode=detection_mode),
-        extra_columns={"trace": trace_key},
+    """Run the full Figure 3 sweep (``workers`` > 1 runs points in parallel).
+
+    A thin spec over the scenario engine: identical to
+    ``repro scenarios run figure3`` with the same overrides.
+    """
+    return run_scenario(
+        "figure3",
+        seed=seed,
         workers=workers,
-    )
+        params={"trace": trace_key, "detection_mode": detection_mode},
+        values=tuple(deltas_min),
+    ).sweep
 
 
 def render(result: Optional[SweepResult] = None, **kwargs) -> str:

@@ -11,7 +11,6 @@ Compares the three Section 3.2 approaches on a pair of news traces
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.limd import limd_policy_factory
@@ -20,12 +19,13 @@ from repro.core.types import MINUTE, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_dict_rows
 from repro.experiments.runner import run_mutual_temporal
-from repro.experiments.sweep import SweepResult, run_sweep
-from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.experiments.sweep import SweepResult
+from repro.experiments.workloads import DEFAULT_SEED
 from repro.metrics.collector import (
     collect_mutual_synchrony,
     collect_mutual_temporal,
 )
+from repro.scenarios.engine import run_scenario
 from repro.traces.model import UpdateTrace
 
 #: δ values (minutes) swept by the paper's Figure 5.
@@ -86,24 +86,6 @@ def evaluate_mutual_delta(
     return row
 
 
-def _sweep_point(
-    delta_min: float,
-    *,
-    trace_a: UpdateTrace,
-    trace_b: UpdateTrace,
-    delta: Seconds,
-    rate_ratio_threshold: float,
-) -> Dict[str, object]:
-    """Picklable run-spec for one Figure 5 point (needed by workers > 1)."""
-    return evaluate_mutual_delta(
-        trace_a,
-        trace_b,
-        delta_min * MINUTE,
-        delta=delta,
-        rate_ratio_threshold=rate_ratio_threshold,
-    )
-
-
 def run(
     *,
     pair: Sequence[str] = ("cnn_fn", "nyt_ap"),
@@ -115,25 +97,21 @@ def run(
 ) -> SweepResult:
     """Run the full Figure 5 sweep for one trace pair.
 
-    ``workers`` > 1 runs the δ points concurrently in worker processes;
-    rows come back in δ order either way.
+    A thin spec over the scenario engine (``repro scenarios run
+    figure5``); ``workers`` > 1 runs the δ points concurrently in
+    worker processes with rows in δ order either way.
     """
-    key_a, key_b = pair
-    trace_a = news_trace(key_a, seed)
-    trace_b = news_trace(key_b, seed)
-    return run_sweep(
-        "mutual_delta_min",
-        mutual_deltas_min,
-        partial(
-            _sweep_point,
-            trace_a=trace_a,
-            trace_b=trace_b,
-            delta=delta,
-            rate_ratio_threshold=rate_ratio_threshold,
-        ),
-        extra_columns={"pair": f"{key_a}+{key_b}"},
+    return run_scenario(
+        "figure5",
+        seed=seed,
         workers=workers,
-    )
+        params={
+            "pair": list(pair),
+            "delta_s": delta,
+            "rate_ratio_threshold": rate_ratio_threshold,
+        },
+        values=tuple(mutual_deltas_min),
+    ).sweep
 
 
 def render(result: Optional[SweepResult] = None, **kwargs) -> str:

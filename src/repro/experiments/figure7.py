@@ -13,7 +13,6 @@ cost of more polls.
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, Optional, Sequence
 
 from repro.consistency.mutual_value import difference
@@ -23,9 +22,10 @@ from repro.experiments.runner import (
     run_mutual_value_adaptive,
     run_mutual_value_partitioned,
 )
-from repro.experiments.sweep import SweepResult, run_sweep
-from repro.experiments.workloads import DEFAULT_SEED, stock_trace
+from repro.experiments.sweep import SweepResult
+from repro.experiments.workloads import DEFAULT_SEED
 from repro.metrics.collector import collect_mutual_value
+from repro.scenarios.engine import run_scenario
 from repro.traces.model import UpdateTrace
 
 #: δ values (dollars) swept by the paper's Figure 7.
@@ -68,17 +68,6 @@ def evaluate_mutual_delta(
     return row
 
 
-def _sweep_point(
-    delta: float,
-    *,
-    trace_a: UpdateTrace,
-    trace_b: UpdateTrace,
-    bounds: TTRBounds,
-) -> Dict[str, object]:
-    """Picklable run-spec for one Figure 7 point (needed by workers > 1)."""
-    return evaluate_mutual_delta(trace_a, trace_b, delta, bounds=bounds)
-
-
 def run(
     *,
     pair: Sequence[str] = ("att", "yahoo"),
@@ -87,17 +76,22 @@ def run(
     bounds: TTRBounds = VALUE_BOUNDS,
     workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 7 sweep (``workers`` > 1 runs points in parallel)."""
-    key_a, key_b = pair
-    trace_a = stock_trace(key_a, seed)
-    trace_b = stock_trace(key_b, seed)
-    return run_sweep(
-        "mutual_delta",
-        mutual_deltas,
-        partial(_sweep_point, trace_a=trace_a, trace_b=trace_b, bounds=bounds),
-        extra_columns={"pair": f"{key_a}+{key_b}"},
+    """Run the full Figure 7 sweep (``workers`` > 1 runs points in parallel).
+
+    A thin spec over the scenario engine (``repro scenarios run
+    figure7``).
+    """
+    return run_scenario(
+        "figure7",
+        seed=seed,
         workers=workers,
-    )
+        params={
+            "pair": list(pair),
+            "ttr_min": bounds.ttr_min,
+            "ttr_max": bounds.ttr_max,
+        },
+        values=tuple(mutual_deltas),
+    ).sweep
 
 
 def render(result: Optional[SweepResult] = None, **kwargs) -> str:

@@ -14,7 +14,6 @@ Used by ``benchmarks/bench_extension_group_mt.py`` and the CLI
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.consistency.limd import limd_policy_factory
@@ -25,8 +24,8 @@ from repro.consistency.mutual_temporal import (
 from repro.core.types import MINUTE, ObjectId, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_dict_rows
-from repro.experiments.sweep import executor_for
-from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.experiments.workloads import DEFAULT_SEED
+from repro.scenarios.engine import run_scenario
 from repro.groups.registry import GroupRegistry
 from repro.httpsim.network import Network
 from repro.metrics.collector import temporal_fetches_of
@@ -93,13 +92,17 @@ def run(
 ) -> List[Dict[str, object]]:
     """Sweep δ for the three Section 3.2 modes over an n=3 group.
 
-    ``workers`` > 1 runs the δ points concurrently; rows come back in
-    δ order either way.
+    A thin spec over the scenario engine (``repro scenarios run
+    group_mt``); ``workers`` > 1 runs the δ points concurrently with
+    rows in δ order either way.
     """
-    traces = [news_trace(key, seed) for key in trio]
-    return executor_for(workers).map(
-        partial(_sweep_point, traces=traces), list(mutual_deltas_min)
-    )
+    return run_scenario(
+        "group_mt",
+        seed=seed,
+        workers=workers,
+        params={"trio": list(trio)},
+        values=tuple(mutual_deltas_min),
+    ).rows
 
 
 def render(

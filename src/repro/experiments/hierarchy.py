@@ -11,14 +11,13 @@ Used by ``benchmarks/bench_extension_hierarchy.py`` and by the CLI
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Dict, List, Optional
 
 from repro.consistency.limd import LimdPolicy
 from repro.core.types import MINUTE, Seconds, TTRBounds
 from repro.experiments.render import render_dict_rows
-from repro.experiments.sweep import executor_for
-from repro.experiments.workloads import DEFAULT_SEED, news_trace
+from repro.experiments.workloads import DEFAULT_SEED
+from repro.scenarios.engine import run_scenario
 from repro.httpsim.network import Network
 from repro.metrics.fidelity import temporal_fidelity_from_snapshots
 from repro.proxy.proxy import ProxyCache
@@ -117,14 +116,16 @@ def run(
 ) -> List[Dict[str, object]]:
     """Run both topologies and return the comparison rows.
 
-    ``workers`` > 1 runs the two topologies in parallel worker
-    processes; rows stay in (flat, hierarchy) order.
+    A thin spec over the scenario engine (``repro scenarios run
+    hierarchy``); ``workers`` > 1 runs the two topologies in parallel
+    worker processes with rows staying in (flat, hierarchy) order.
     """
-    trace = news_trace(trace_key, seed)
-    return executor_for(workers).map(
-        partial(_topology_row, trace=trace, edge_count=edge_count),
-        ["flat", "hierarchy"],
-    )
+    return run_scenario(
+        "hierarchy",
+        seed=seed,
+        workers=workers,
+        params={"trace": trace_key, "edge_count": edge_count},
+    ).rows
 
 
 def render(

@@ -12,8 +12,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.types import HOUR, MINUTE
 from repro.experiments.render import render_table
-from repro.experiments.sweep import executor_for
-from repro.experiments.workloads import DEFAULT_SEED, news_traces
+from repro.experiments.workloads import DEFAULT_SEED
+from repro.scenarios.engine import run_scenario
 from repro.traces.model import UpdateTrace
 from repro.traces.stats import summarize_temporal
 
@@ -36,9 +36,11 @@ def _summary_row(item: Tuple[str, UpdateTrace]) -> Dict[str, object]:
 def run(
     seed: int = DEFAULT_SEED, *, workers: Optional[int] = None
 ) -> List[Dict[str, object]]:
-    """Build the Table 2 rows (``workers`` > 1 characterises in parallel)."""
-    items = list(news_traces(seed).items())
-    return executor_for(workers).map(_summary_row, items)
+    """Build the Table 2 rows (``workers`` > 1 characterises in parallel).
+
+    A thin spec over the scenario engine (``repro scenarios run table2``).
+    """
+    return run_scenario("table2", seed=seed, workers=workers).rows
 
 
 def render(

@@ -1,0 +1,58 @@
+"""Declarative scenario engine.
+
+One subsystem turns every experiment — paper figure, ablation,
+extension, or new workload family — into data plus a point function:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the serializable
+  description (axis, values, params, columns);
+* :mod:`repro.scenarios.registry` — the ``@scenario`` decorator and
+  name-based lookup;
+* :mod:`repro.scenarios.engine` — :func:`run_scenario`, the generic
+  driver over the parallel sweep executors;
+* :mod:`repro.scenarios.builtin` — every paper table/figure/ablation
+  as a thin spec;
+* :mod:`repro.scenarios.families` — flash crowds, diurnal cycles,
+  failure churn, heterogeneous mixes.
+
+See ``docs/SCENARIOS.md`` for the authoring guide.
+"""
+
+from repro.scenarios.engine import (
+    DEFAULT_SEED,
+    ScenarioResult,
+    describe_scenario,
+    render_scenario,
+    run_scenario,
+)
+from repro.scenarios.registry import (
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    ScenarioSpecError,
+    parse_param_overrides,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "UnknownScenarioError",
+    "describe_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "parse_param_overrides",
+    "register_scenario",
+    "render_scenario",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,551 @@
+"""Built-in scenarios: every paper table/figure, extension, and ablation.
+
+Each registration is a thin declarative spec over the point logic that
+already lives in :mod:`repro.experiments` — the experiment modules'
+``run()`` entry points delegate back to :func:`repro.scenarios.engine.
+run_scenario`, so the CLI's classic ``python -m repro figure3`` path
+and ``python -m repro scenarios run figure3`` execute the exact same
+code and produce row-for-row identical output (pinned by the golden
+regression suite, serially and with ``--workers 2``).
+
+Time-series experiments (figures 4, 6 and 8) are single simulations,
+not sweeps; their scenarios run the underlying experiment once per
+(singleton) axis value and report the summary statistics their modules
+expose, so they too are listable, runnable, and golden-pinned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.core.types import MINUTE, TTRBounds
+from repro.experiments import figure3, figure4, figure5, figure6, figure7, figure8
+from repro.experiments import group_mt, hierarchy, table2, table3
+from repro.experiments.ablations import (
+    DETECTION_MODES,
+    LIMD_TUNINGS,
+    _history_point,
+    _latency_point,
+    _limd_parameters_point,
+    _partition_point,
+    _smoothing_point,
+    _threshold_point,
+    _trigger_point,
+)
+from repro.experiments.workloads import news_trace, news_traces, stock_trace, stock_traces
+from repro.scenarios.registry import prepare_params_seed, scenario
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def _prepare_table2(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    del params
+    return {"traces": news_traces(seed)}
+
+
+@scenario(
+    name="table2",
+    description="Table 2: temporal workload characteristics",
+    axis="key",
+    values=("cnn_fn", "nyt_ap", "nyt_reuters", "guardian"),
+    columns=("trace", "key", "duration_h", "num_updates", "avg_update_interval_min"),
+    title="Table 2: Characteristics of Trace Workloads (Temporal Domain)",
+    tags=("paper", "table"),
+    prepare=_prepare_table2,
+)
+def _table2_point(key: str, *, traces) -> Dict[str, object]:
+    return table2._summary_row((key, traces[key]))
+
+
+def _prepare_table3(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    del params
+    return {"traces": stock_traces(seed)}
+
+
+@scenario(
+    name="table3",
+    description="Table 3: value workload characteristics",
+    axis="key",
+    values=("att", "yahoo"),
+    columns=("stock", "key", "duration_h", "num_updates", "min_value", "max_value"),
+    title="Table 3: Characteristics of Trace Workloads (Value Domain)",
+    tags=("paper", "table"),
+    prepare=_prepare_table3,
+)
+def _table3_point(key: str, *, traces) -> Dict[str, object]:
+    return table3._summary_row((key, traces[key]))
+
+
+# ----------------------------------------------------------------------
+# Figure sweeps
+# ----------------------------------------------------------------------
+
+
+def _prepare_figure3(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    return {
+        "trace": news_trace(str(params["trace"]), seed),
+        "trace_key": str(params["trace"]),
+        "detection_mode": str(params["detection_mode"]),
+    }
+
+
+@scenario(
+    name="figure3",
+    description="Figure 3: LIMD vs poll-every-delta baseline (delta sweep)",
+    axis="delta_min",
+    values=figure3.DEFAULT_DELTAS_MIN,
+    params={"trace": "cnn_fn", "detection_mode": "history"},
+    columns=(
+        "delta_min",
+        "limd_polls",
+        "baseline_polls",
+        "poll_ratio",
+        "limd_fidelity_violations",
+        "limd_fidelity_time",
+        "baseline_fidelity_violations",
+    ),
+    title="Figure 3: LIMD vs baseline (polls and fidelity vs delta)",
+    tags=("paper", "figure"),
+    prepare=_prepare_figure3,
+)
+def _figure3_point(
+    delta_min: float, *, trace, trace_key: str, detection_mode: str
+) -> Dict[str, object]:
+    row: Dict[str, object] = {"trace": trace_key}
+    row.update(
+        figure3.evaluate_delta(
+            trace, delta_min * MINUTE, detection_mode=detection_mode
+        )
+    )
+    return row
+
+
+def _prepare_figure5(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    key_a, key_b = params["pair"]  # type: ignore[misc]
+    return {
+        "trace_a": news_trace(str(key_a), seed),
+        "trace_b": news_trace(str(key_b), seed),
+        "pair_label": f"{key_a}+{key_b}",
+        "delta": float(params["delta_s"]),  # type: ignore[arg-type]
+        "rate_ratio_threshold": float(params["rate_ratio_threshold"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="figure5",
+    description="Figure 5: mutual temporal approaches (mutual-delta sweep)",
+    axis="mutual_delta_min",
+    values=figure5.DEFAULT_MUTUAL_DELTAS_MIN,
+    params={
+        "pair": ("cnn_fn", "nyt_ap"),
+        "delta_s": 600.0,
+        "rate_ratio_threshold": 0.8,
+    },
+    columns=(
+        "mutual_delta_min",
+        "baseline_polls",
+        "triggered_polls",
+        "heuristic_polls",
+        "heuristic_overhead",
+        "baseline_fidelity",
+        "triggered_fidelity",
+        "heuristic_fidelity",
+    ),
+    title="Figure 5: Mutual temporal consistency (delta = 10 min)",
+    tags=("paper", "figure"),
+    prepare=_prepare_figure5,
+)
+def _figure5_point(
+    mutual_delta_min: float,
+    *,
+    trace_a,
+    trace_b,
+    pair_label: str,
+    delta: float,
+    rate_ratio_threshold: float,
+) -> Dict[str, object]:
+    row: Dict[str, object] = {"pair": pair_label}
+    row.update(
+        figure5.evaluate_mutual_delta(
+            trace_a,
+            trace_b,
+            mutual_delta_min * MINUTE,
+            delta=delta,
+            rate_ratio_threshold=rate_ratio_threshold,
+        )
+    )
+    return row
+
+
+def _prepare_figure7(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    key_a, key_b = params["pair"]  # type: ignore[misc]
+    return {
+        "trace_a": stock_trace(str(key_a), seed),
+        "trace_b": stock_trace(str(key_b), seed),
+        "pair_label": f"{key_a}+{key_b}",
+        "ttr_min": float(params["ttr_min"]),  # type: ignore[arg-type]
+        "ttr_max": float(params["ttr_max"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="figure7",
+    description="Figure 7: mutual value approaches (mutual-delta sweep, $)",
+    axis="mutual_delta",
+    values=figure7.DEFAULT_MUTUAL_DELTAS,
+    params={"pair": ("att", "yahoo"), "ttr_min": 1.0, "ttr_max": 60.0},
+    columns=(
+        "mutual_delta",
+        "adaptive_polls",
+        "partitioned_polls",
+        "adaptive_fidelity",
+        "partitioned_fidelity",
+        "adaptive_fidelity_time",
+        "partitioned_fidelity_time",
+    ),
+    title="Figure 7: Mutual value consistency (polls and fidelity vs delta, $)",
+    tags=("paper", "figure"),
+    prepare=_prepare_figure7,
+)
+def _figure7_point(
+    mutual_delta: float,
+    *,
+    trace_a,
+    trace_b,
+    pair_label: str,
+    ttr_min: float,
+    ttr_max: float,
+) -> Dict[str, object]:
+    row: Dict[str, object] = {"pair": pair_label}
+    row.update(
+        figure7.evaluate_mutual_delta(
+            trace_a,
+            trace_b,
+            mutual_delta,
+            bounds=TTRBounds(ttr_min=ttr_min, ttr_max=ttr_max),
+        )
+    )
+    return row
+
+
+# ----------------------------------------------------------------------
+# Time-series experiments (single runs, summarised)
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    name="figure4",
+    description="Figure 4: LIMD adaptivity over time (summary statistics)",
+    axis="delta_min",
+    values=(10.0,),
+    params={"trace": "cnn_fn"},
+    title="Figure 4: LIMD TTR adaptivity (single run summary)",
+    tags=("paper", "figure", "timeseries"),
+    prepare=prepare_params_seed,
+)
+def _figure4_point(
+    delta_min: float, *, params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    result = figure4.run(
+        trace_key=str(params["trace"]), delta=delta_min * MINUTE, seed=seed
+    )
+    return {
+        "trace": params["trace"],
+        "polls": result.run.total_polls,
+        "ttr_min_min": result.min_ttr_minutes,
+        "ttr_max_min": result.max_ttr_minutes,
+    }
+
+
+@scenario(
+    name="figure6",
+    description="Figure 6: mutual-heuristic adaptivity (summary statistics)",
+    axis="mutual_delta_min",
+    values=(5.0,),
+    params={
+        "pair": ("nyt_ap", "nyt_reuters"),
+        "delta_min": 10.0,
+        "rate_ratio_threshold": 0.8,
+    },
+    title="Figure 6: Mutual-heuristic adaptivity (single run summary)",
+    tags=("paper", "figure", "timeseries"),
+    prepare=prepare_params_seed,
+)
+def _figure6_point(
+    mutual_delta_min: float, *, params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    pair = tuple(str(key) for key in params["pair"])  # type: ignore[union-attr]
+    result = figure6.run(
+        pair=pair,
+        delta=float(params["delta_min"]) * MINUTE,  # type: ignore[arg-type]
+        mutual_delta=mutual_delta_min * MINUTE,
+        seed=seed,
+        rate_ratio_threshold=float(params["rate_ratio_threshold"]),  # type: ignore[arg-type]
+    )
+    return {
+        "pair": "+".join(pair),
+        "extra_polls": result.total_extra_polls,
+        "suppressed_slower": result.total_suppressed_by_rate,
+        "total_polls": result.run.total_polls,
+    }
+
+
+@scenario(
+    name="figure8",
+    description="Figure 8: f at proxy vs server (tracking-error summary)",
+    axis="mutual_delta",
+    values=(0.6,),
+    params={"pair": ("att", "yahoo")},
+    title="Figure 8: proxy-vs-server tracking error (single run summary)",
+    tags=("paper", "figure", "timeseries"),
+    prepare=prepare_params_seed,
+)
+def _figure8_point(
+    mutual_delta: float, *, params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    pair = tuple(str(key) for key in params["pair"])  # type: ignore[union-attr]
+    result = figure8.run(pair=pair, mutual_delta=mutual_delta, seed=seed)
+    return {
+        "pair": "+".join(pair),
+        "adaptive_tracking_error": result.tracking_error("adaptive"),
+        "partitioned_tracking_error": result.tracking_error("partitioned"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Extensions
+# ----------------------------------------------------------------------
+
+
+def _prepare_group_mt(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    trio = [str(key) for key in params["trio"]]  # type: ignore[union-attr]
+    return {"traces": [news_trace(key, seed) for key in trio]}
+
+
+@scenario(
+    name="group_mt",
+    description="Extension: n-object mutual temporal consistency",
+    axis="mutual_delta_min",
+    values=group_mt.DEFAULT_MUTUAL_DELTAS,
+    params={"trio": group_mt.DEFAULT_TRIO},
+    title="Extension: n-object mutual temporal consistency (delta = 10 min)",
+    tags=("extension",),
+    prepare=_prepare_group_mt,
+)
+def _group_mt_point(mutual_delta_min: float, *, traces: List) -> Dict[str, object]:
+    return group_mt._sweep_point(mutual_delta_min, traces=traces)
+
+
+def _prepare_hierarchy(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    return {
+        "trace": news_trace(str(params["trace"]), seed),
+        "edge_count": int(params["edge_count"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="hierarchy",
+    description="Extension: flat vs hierarchical proxy topologies",
+    axis="topology",
+    values=("flat", "hierarchy"),
+    params={"trace": "cnn_fn", "edge_count": hierarchy.DEFAULT_EDGE_COUNT},
+    title="Extension: flat vs hierarchical proxies (delta = 10 min/level)",
+    tags=("extension",),
+    prepare=_prepare_hierarchy,
+)
+def _hierarchy_point(topology: str, *, trace, edge_count: int) -> Dict[str, object]:
+    return hierarchy._topology_row(topology, trace=trace, edge_count=edge_count)
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+
+
+def _prepare_history(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    return {
+        "trace": news_trace(str(params["trace"]), seed),
+        "delta": float(params["delta_s"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="ablation_history",
+    description="Ablation: violation-detection modes (history vs inference)",
+    axis="detection",
+    values=DETECTION_MODES,
+    params={"trace": "guardian", "delta_s": 300.0},
+    title="Ablation: violation detection modes",
+    tags=("ablation",),
+    prepare=_prepare_history,
+)
+def _ablation_history_point(mode: str, *, trace, delta: float) -> Dict[str, object]:
+    return _history_point(mode, trace=trace, delta=delta)
+
+
+def _prepare_news_pair(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    key_a, key_b = params["pair"]  # type: ignore[misc]
+    return {
+        "trace_a": news_trace(str(key_a), seed),
+        "trace_b": news_trace(str(key_b), seed),
+        "delta": float(params["delta_s"]),  # type: ignore[arg-type]
+        "mutual_delta": float(params["mutual_delta_s"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="ablation_heuristic_threshold",
+    description="Ablation: rate-ratio gate of the mutual heuristic",
+    axis="threshold",
+    values=(0.25, 0.5, 0.8, 1.0, 2.0),
+    params={"pair": ("cnn_fn", "nyt_ap"), "delta_s": 600.0, "mutual_delta_s": 120.0},
+    title="Ablation: heuristic rate-ratio threshold",
+    tags=("ablation",),
+    prepare=_prepare_news_pair,
+)
+def _ablation_threshold_point(
+    threshold: float, *, trace_a, trace_b, delta: float, mutual_delta: float
+) -> Dict[str, object]:
+    return _threshold_point(
+        threshold,
+        trace_a=trace_a,
+        trace_b=trace_b,
+        delta=delta,
+        mutual_delta=mutual_delta,
+    )
+
+
+@scenario(
+    name="ablation_trigger_semantics",
+    description="Ablation: triggered polls as additional vs replacing polls",
+    axis="semantics",
+    values=("additional", "replace"),
+    params={"pair": ("cnn_fn", "nyt_ap"), "delta_s": 600.0, "mutual_delta_s": 120.0},
+    title="Ablation: trigger semantics",
+    tags=("ablation",),
+    prepare=_prepare_news_pair,
+)
+def _ablation_trigger_point(
+    semantics: str, *, trace_a, trace_b, delta: float, mutual_delta: float
+) -> Dict[str, object]:
+    return _trigger_point(
+        (semantics, semantics == "replace"),
+        trace_a=trace_a,
+        trace_b=trace_b,
+        delta=delta,
+        mutual_delta=mutual_delta,
+    )
+
+
+def _prepare_stock_pair(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    key_a, key_b = params["pair"]  # type: ignore[misc]
+    context: Dict[str, object] = {
+        "trace_a": stock_trace(str(key_a), seed),
+        "trace_b": stock_trace(str(key_b), seed),
+        "mutual_delta": float(params["mutual_delta"]),  # type: ignore[arg-type]
+        "bounds": TTRBounds(
+            ttr_min=float(params["ttr_min"]),  # type: ignore[arg-type]
+            ttr_max=float(params["ttr_max"]),  # type: ignore[arg-type]
+        ),
+    }
+    if "reapportion_interval_s" in params:
+        context["reapportion_interval_s"] = float(
+            params["reapportion_interval_s"]  # type: ignore[arg-type]
+        )
+    return context
+
+
+@scenario(
+    name="ablation_partition",
+    description="Ablation: static vs dynamic mutual-delta split",
+    axis="split",
+    values=("static", "dynamic"),
+    params={
+        "pair": ("att", "yahoo"),
+        "mutual_delta": 0.6,
+        "ttr_min": 1.0,
+        "ttr_max": 60.0,
+        "reapportion_interval_s": 60.0,
+    },
+    title="Ablation: static vs dynamic delta split",
+    tags=("ablation",),
+    prepare=_prepare_stock_pair,
+)
+def _ablation_partition_point(
+    split: str,
+    *,
+    trace_a,
+    trace_b,
+    mutual_delta: float,
+    bounds: TTRBounds,
+    reapportion_interval_s: float,
+) -> Dict[str, object]:
+    interval = None if split == "static" else reapportion_interval_s
+    return _partition_point(
+        (split, interval),
+        trace_a=trace_a,
+        trace_b=trace_b,
+        mutual_delta=mutual_delta,
+        bounds=bounds,
+    )
+
+
+@scenario(
+    name="ablation_smoothing",
+    description="Ablation: Eq. 10 smoothing-alpha sweep",
+    axis="alpha",
+    values=(0.3, 0.5, 0.7, 0.9, 1.0),
+    params={
+        "pair": ("att", "yahoo"),
+        "mutual_delta": 0.6,
+        "ttr_min": 1.0,
+        "ttr_max": 60.0,
+    },
+    title="Ablation: Eq. 10 alpha sweep",
+    tags=("ablation",),
+    prepare=_prepare_stock_pair,
+)
+def _ablation_smoothing_point(
+    alpha: float, *, trace_a, trace_b, mutual_delta: float, bounds: TTRBounds
+) -> Dict[str, object]:
+    return _smoothing_point(
+        alpha,
+        trace_a=trace_a,
+        trace_b=trace_b,
+        mutual_delta=mutual_delta,
+        bounds=bounds,
+    )
+
+
+@scenario(
+    name="ablation_limd_parameters",
+    description="Ablation: LIMD growth/back-off tunings",
+    axis="tuning",
+    values=tuple(LIMD_TUNINGS),
+    params={"trace": "cnn_fn", "delta_s": 600.0},
+    title="Ablation: LIMD l/m tuning",
+    tags=("ablation",),
+    prepare=_prepare_history,
+)
+def _ablation_limd_point(tuning: str, *, trace, delta: float) -> Dict[str, object]:
+    return _limd_parameters_point(
+        (tuning, LIMD_TUNINGS[tuning]), trace=trace, delta=delta
+    )
+
+
+@scenario(
+    name="ablation_latency",
+    description="Ablation: network-latency sensitivity of LIMD",
+    axis="one_way_latency_s",
+    values=(0.0, 30.0, 150.0, 300.0, 600.0),
+    params={"trace": "cnn_fn", "delta_s": 600.0},
+    title="Ablation: network-latency sensitivity",
+    tags=("ablation",),
+    prepare=_prepare_history,
+)
+def _ablation_latency_point(
+    latency: float, *, trace, delta: float
+) -> Dict[str, object]:
+    return _latency_point(latency, trace=trace, delta=delta)

@@ -1,0 +1,163 @@
+"""Decorator-based scenario registry.
+
+A scenario is a :class:`~repro.scenarios.spec.ScenarioSpec` plus two
+callables:
+
+* ``prepare(params, seed)`` — runs **once** in the parent process and
+  materialises the shared context every point needs (generated traces,
+  rebuilt parameter objects).  Everything it returns must pickle, since
+  with ``workers`` > 1 the context crosses the process boundary.
+* the decorated **point function** — ``point(value, **context)`` runs
+  once per axis value (possibly in a worker process) and returns one
+  row of metric columns as a plain mapping.
+
+Registration is declarative::
+
+    @scenario(
+        name="diurnal",
+        description="LIMD under diurnally modulated load",
+        axis="amplitude",
+        values=(0.0, 0.5, 1.0),
+        params={"base_rate_per_hour": 12.0, "days": 2.0},
+        prepare=_prepare_diurnal,
+    )
+    def _diurnal_point(amplitude, *, trace, delta):
+        ...
+
+Point functions must be module-level (pickling requirement, exactly as
+for :mod:`repro.experiments.sweep` row builders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.scenarios.spec import AxisValue, ScenarioSpec
+
+#: Builds the per-run shared context from (params, seed).
+PrepareFn = Callable[[Mapping[str, object], int], Mapping[str, object]]
+
+#: Turns one axis value (plus the prepared context) into a metrics row.
+PointFn = Callable[..., Mapping[str, object]]
+
+
+class UnknownScenarioError(ReproError, KeyError):
+    """A scenario name was not found in the registry."""
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        super().__init__(
+            f"unknown scenario {name!r}; known: {', '.join(known) or '(none)'}"
+        )
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr the message
+        return self.args[0]
+
+
+def _prepare_nothing(
+    params: Mapping[str, object], seed: int
+) -> Mapping[str, object]:
+    """Default ``prepare``: the point needs no shared context."""
+    del params, seed
+    return {}
+
+
+def prepare_params_seed(
+    params: Mapping[str, object], seed: int
+) -> Mapping[str, object]:
+    """Common ``prepare``: hand the raw params and seed to every point.
+
+    For scenarios whose points build their own workload per axis value
+    (deriving the point RNG from ``seed`` and the value).
+    """
+    return {"params": dict(params), "seed": seed}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario: declarative spec + executable hooks."""
+
+    spec: ScenarioSpec
+    point: PointFn
+    prepare: PrepareFn = _prepare_nothing
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+
+def scenario(
+    *,
+    name: str,
+    description: str,
+    axis: str,
+    values: Sequence[AxisValue],
+    params: Optional[Mapping[str, object]] = None,
+    columns: Sequence[str] = (),
+    title: str = "",
+    tags: Sequence[str] = (),
+    prepare: Optional[PrepareFn] = None,
+) -> Callable[[PointFn], PointFn]:
+    """Register the decorated point function as a runnable scenario."""
+    spec = ScenarioSpec(
+        name=name,
+        description=description,
+        axis=axis,
+        values=tuple(values),
+        params=dict(params or {}),
+        columns=tuple(columns),
+        title=title or description,
+        tags=tuple(tags),
+    )
+
+    def wrap(point: PointFn) -> PointFn:
+        register_scenario(
+            Scenario(spec=spec, point=point, prepare=prepare or _prepare_nothing)
+        )
+        return point
+
+    return wrap
+
+
+def register_scenario(entry: Scenario) -> None:
+    """Add a scenario to the registry (duplicate names are an error)."""
+    if entry.spec.name in _REGISTRY:
+        raise ValueError(
+            f"scenario {entry.spec.name!r} is already registered"
+        )
+    _REGISTRY[entry.spec.name] = entry
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose import side-effect is registration."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # Imported for their @scenario decorators; order matters only for
+    # listing aesthetics (builtin paper scenarios first).
+    import repro.scenarios.builtin  # noqa: F401
+    import repro.scenarios.families  # noqa: F401
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, scenario_names()) from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> List[Scenario]:
+    """All registered scenarios, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

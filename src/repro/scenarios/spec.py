@@ -1,0 +1,256 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures *what* an experiment is — workload and
+trace parameters, the policy grid, the swept axis, and the metric
+columns to report — as plain, JSON-serializable data.  The *how* (the
+point function that turns one axis value into a row of metrics) lives
+in the registry (:mod:`repro.scenarios.registry`); the two are joined
+by :func:`repro.scenarios.engine.run_scenario`.
+
+Keeping the spec declarative buys three things:
+
+* scenarios can be listed, described, and overridden from the CLI
+  (``python -m repro scenarios run figure3 --params trace=guardian``)
+  without touching code;
+* the golden-output regression suite can serialize the exact
+  configuration it pinned alongside the rows it hashed;
+* new scenarios are mostly data — a spec plus one point function.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from repro.core.errors import ReproError
+
+#: Values a scenario axis may sweep over: numbers for the classic Δ/δ
+#: sweeps, strings for configuration grids (detection modes, topologies).
+AxisValue = Union[int, float, str]
+
+#: JSON scalar types allowed inside ``params`` (bool before int: bool is
+#: an int subclass and must be recognised first).
+_SCALARS = (bool, int, float, str, type(None))
+
+
+class ScenarioSpecError(ReproError):
+    """A scenario specification was malformed or inconsistent."""
+
+
+def _check_jsonable(name: str, value: object) -> None:
+    """Reject parameter values that would not survive a JSON round trip."""
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _check_jsonable(f"{name}[{index}]", item)
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ScenarioSpecError(
+                    f"param {name!r}: mapping keys must be str, got {key!r}"
+                )
+            _check_jsonable(f"{name}.{key}", item)
+        return
+    raise ScenarioSpecError(
+        f"param {name!r} has non-JSON-serializable type "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def _freeze(value: object) -> object:
+    """Deep-copy a params value into plain mutable-free JSON shapes."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, Mapping):
+        return {key: _freeze(item) for key, item in value.items()}
+    return value
+
+
+def _thaw(value: object) -> object:
+    """The inverse of :func:`_freeze` for serialization: tuples → lists."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    if isinstance(value, Mapping):
+        return {key: _thaw(item) for key, item in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The declarative description of one registered scenario.
+
+    Attributes:
+        name: Unique registry key (``repro scenarios run <name>``).
+        description: One-line summary shown by ``scenarios list``.
+        axis: Name of the swept parameter; becomes the first row column.
+        values: The axis values — one simulation point per value.
+        params: Scenario-family parameters (trace keys, tolerances,
+            workload knobs, policy settings).  Everything here must be
+            JSON-serializable and is overridable via ``--params``.
+        columns: Metric columns to render, in order ('()' = all).
+        title: Heading used when rendering the result table.
+        tags: Free-form labels (``paper``, ``ablation``, ``family``...).
+    """
+
+    name: str
+    description: str
+    axis: str
+    values: Tuple[AxisValue, ...]
+    params: Mapping[str, object] = field(default_factory=dict)
+    columns: Tuple[str, ...] = ()
+    title: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for attribute in ("name", "description", "axis", "title"):
+            if not isinstance(getattr(self, attribute), str):
+                raise ScenarioSpecError(
+                    f"{attribute} must be a string, got "
+                    f"{type(getattr(self, attribute)).__name__}"
+                )
+        if not self.name:
+            raise ScenarioSpecError("name must be non-empty")
+        if not self.axis:
+            raise ScenarioSpecError("axis must be non-empty")
+        if isinstance(self.values, (str, bytes)) or not isinstance(
+            self.values, Sequence
+        ):
+            raise ScenarioSpecError(
+                f"values must be a sequence, got {type(self.values).__name__}"
+            )
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ScenarioSpecError("values must be non-empty")
+        for value in self.values:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, str)
+            ):
+                raise ScenarioSpecError(
+                    f"axis values must be numbers or strings, got {value!r}"
+                )
+        if not isinstance(self.params, Mapping):
+            raise ScenarioSpecError(
+                f"params must be a mapping, got {type(self.params).__name__}"
+            )
+        for key, value in self.params.items():
+            if not isinstance(key, str):
+                raise ScenarioSpecError(
+                    f"param names must be strings, got {key!r}"
+                )
+            _check_jsonable(key, value)
+        # Normalise sequences to tuples so list- and tuple-specified
+        # params compare equal (and a dict/JSON round trip is identity).
+        object.__setattr__(
+            self,
+            "params",
+            {key: _freeze(value) for key, value in self.params.items()},
+        )
+        for attribute in ("columns", "tags"):
+            raw = getattr(self, attribute)
+            if isinstance(raw, (str, bytes)) or not isinstance(raw, Sequence):
+                raise ScenarioSpecError(
+                    f"{attribute} must be a sequence of strings"
+                )
+            items = tuple(raw)
+            if not all(isinstance(item, str) for item in items):
+                raise ScenarioSpecError(
+                    f"{attribute} must contain only strings, got {items!r}"
+                )
+            object.__setattr__(self, attribute, items)
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+    def with_params(self, overrides: Mapping[str, object]) -> "ScenarioSpec":
+        """Return a copy with ``overrides`` merged into ``params``.
+
+        Only existing parameter names may be overridden — a typo'd name
+        is an error, not a silently ignored knob.
+        """
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise ScenarioSpecError(
+                f"unknown parameter(s) for scenario {self.name!r}: "
+                f"{unknown}; known: {sorted(self.params)}"
+            )
+        merged = dict(self.params)
+        merged.update(overrides)
+        return replace(self, params=merged)
+
+    def with_values(self, values: Sequence[AxisValue]) -> "ScenarioSpec":
+        """Return a copy sweeping ``values`` instead."""
+        return replace(self, values=tuple(values))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form: lists for tuples, safe to ``json.dumps``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "axis": self.axis,
+            "values": list(self.values),
+            "params": {k: _thaw(v) for k, v in self.params.items()},
+            "columns": list(self.columns),
+            "title": self.title,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Build a spec from a plain dict, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise ScenarioSpecError(
+                f"spec must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScenarioSpecError(
+                f"unknown spec field(s): {unknown}; known: {sorted(known)}"
+            )
+        missing = sorted(
+            {"name", "description", "axis", "values"} - set(data)
+        )
+        if missing:
+            raise ScenarioSpecError(f"missing spec field(s): {missing}")
+        kwargs = dict(data)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioSpecError(f"invalid spec JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def parse_param_overrides(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse CLI ``key=value`` override pairs into a params mapping.
+
+    Values are parsed as JSON when possible (numbers, booleans, lists,
+    quoted strings) and fall back to the raw string otherwise, so
+    ``--params delta_min=2.5 trace=guardian surges='[[3600,600,20]]'``
+    all work without shell gymnastics.
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ScenarioSpecError(
+                f"malformed --params entry {pair!r}: expected key=value"
+            )
+        try:
+            value: object = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides

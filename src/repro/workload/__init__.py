@@ -1,6 +1,19 @@
-"""Client workload generation: arrivals, popularity, request streams."""
+"""Client workload generation: arrivals, popularity, request streams,
+and the scenario workload families (surges, diurnal modulation,
+failure schedules)."""
 
 from repro.workload.arrivals import ArrivalProcess, PoissonArrivals, RegularArrivals
+from repro.workload.failures import (
+    DownInterval,
+    FailureInjector,
+    FailureSchedule,
+    generate_failure_schedule,
+)
+from repro.workload.modulation import (
+    DiurnalModulation,
+    diurnal_trace,
+    modulated_times,
+)
 from repro.workload.popularity import (
     AliasSampler,
     PopularityModel,
@@ -9,6 +22,11 @@ from repro.workload.popularity import (
     ZipfPopularity,
 )
 from repro.workload.requests import RequestStream, RequestStreamConfig
+from repro.workload.surges import (
+    SurgeWindow,
+    flash_crowd_times,
+    flash_crowd_trace,
+)
 
 __all__ = [
     "AliasSampler",
@@ -21,4 +39,14 @@ __all__ = [
     "ZipfPopularity",
     "RequestStream",
     "RequestStreamConfig",
+    "SurgeWindow",
+    "flash_crowd_times",
+    "flash_crowd_trace",
+    "DiurnalModulation",
+    "modulated_times",
+    "diurnal_trace",
+    "DownInterval",
+    "FailureSchedule",
+    "FailureInjector",
+    "generate_failure_schedule",
 ]

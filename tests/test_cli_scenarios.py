@@ -1,0 +1,135 @@
+"""CLI tests for the ``repro scenarios`` command group."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_registered_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_mentions_run_hint(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        assert "scenarios run" in capsys.readouterr().out
+
+
+class TestDescribe:
+    def test_describe_shows_axis_and_params(self, capsys):
+        assert main(["scenarios", "describe", "flash_crowd"]) == 0
+        out = capsys.readouterr().out
+        assert "surge_intensity" in out
+        assert "total_updates" in out
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["scenarios", "describe", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "figure3" in err  # the known names are listed
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        assert main(["scenarios", "run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "AT&T" in out
+        assert "Yahoo" in out
+
+    def test_run_with_values_override(self, capsys):
+        assert (
+            main(["scenarios", "run", "figure3", "--values", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "limd_polls" in out
+
+    def test_run_with_params_override(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "ablation_history",
+                    "--params",
+                    "trace=cnn_fn",
+                ]
+            )
+            == 0
+        )
+        assert "detection" in capsys.readouterr().out
+
+    def test_run_json_output(self, capsys):
+        assert (
+            main(
+                ["scenarios", "run", "table2", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "table2"
+        assert payload["rows"]
+        assert payload["rows"][0]["key"] == "cnn_fn"
+
+    def test_run_workers_matches_serial(self, capsys):
+        assert main(["scenarios", "run", "table2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["scenarios", "run", "table2", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "run", "no_such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_param_exits_2(self, capsys):
+        assert (
+            main(["scenarios", "run", "figure3", "--params", "bogus=1"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "invalid scenario configuration" in err
+        assert "bogus" in err
+
+    def test_bad_param_value_exits_2(self, capsys):
+        """Valid key, invalid value: clean exit, no traceback."""
+        assert (
+            main(
+                ["scenarios", "run", "figure3", "--params", "trace=bogus"]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "invalid scenario configuration" in err
+        assert "bogus" in err
+
+    def test_malformed_param_exits_2(self, capsys):
+        assert (
+            main(["scenarios", "run", "figure3", "--params", "noequals"])
+            == 2
+        )
+        assert "malformed" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_nonzero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenarios"])
+        assert excinfo.value.code != 0
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "table2", "--workers", "0"])
+
+
+class TestClassicCliUnaffected:
+    def test_experiment_list_mentions_scenarios_group(self, capsys):
+        assert main(["list"]) == 0
+        assert "scenarios list" in capsys.readouterr().out
+
+    def test_unknown_experiment_still_exits_2(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

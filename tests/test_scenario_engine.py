@@ -1,0 +1,212 @@
+"""Unit tests for the scenario registry and the generic driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.scenarios.engine import (
+    describe_scenario,
+    render_scenario,
+    run_scenario,
+)
+from repro.scenarios.registry import (
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+# ----------------------------------------------------------------------
+# A module-level toy scenario (point functions must pickle for the
+# workers=2 tests, so no closures).
+# ----------------------------------------------------------------------
+
+
+def _toy_prepare(params, seed):
+    return {"offset": params["offset"], "seed": seed}
+
+
+def _toy_point(value, *, offset, seed):
+    return {"doubled": value * 2 + offset, "seed_seen": seed}
+
+
+def _toy_scenario(name="_toy"):
+    return Scenario(
+        spec=ScenarioSpec(
+            name=name,
+            description="toy",
+            axis="x",
+            values=(1.0, 2.0, 3.0),
+            params={"offset": 10},
+        ),
+        point=_toy_point,
+        prepare=_toy_prepare,
+    )
+
+
+def _labelled_point(value, *, offset, seed):
+    del seed
+    return {"x": f"<{value}>", "result": offset}
+
+
+class TestRegistry:
+    def test_builtin_and_family_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "table2",
+            "table3",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "group_mt",
+            "hierarchy",
+            "ablation_history",
+            "ablation_heuristic_threshold",
+            "ablation_partition",
+            "ablation_smoothing",
+            "ablation_trigger_semantics",
+            "ablation_limd_parameters",
+            "ablation_latency",
+            "flash_crowd",
+            "diurnal",
+            "failure_churn",
+            "hetero_mix",
+        ):
+            assert expected in names
+
+    def test_at_least_four_new_families(self):
+        family_tagged = [
+            entry
+            for entry in list_scenarios()
+            if "family" in entry.spec.tags
+        ]
+        assert len(family_tagged) >= 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownScenarioError, match="unknown scenario"):
+            get_scenario("no_such_scenario")
+
+    def test_duplicate_registration_rejected(self):
+        register_scenario(_toy_scenario("_toy_dup"))
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(_toy_scenario("_toy_dup"))
+        finally:
+            from repro.scenarios import registry
+
+            registry._REGISTRY.pop("_toy_dup", None)
+
+
+class TestDriver:
+    def test_rows_in_axis_order_with_axis_column(self):
+        result = run_scenario(_toy_scenario(), seed=5)
+        assert [row["x"] for row in result.rows] == [1.0, 2.0, 3.0]
+        assert [row["doubled"] for row in result.rows] == [12.0, 14.0, 16.0]
+        assert all(row["seed_seen"] == 5 for row in result.rows)
+
+    def test_axis_column_not_duplicated_when_point_reports_it(self):
+        entry = Scenario(
+            spec=_toy_scenario().spec, point=_labelled_point, prepare=_toy_prepare
+        )
+        result = run_scenario(entry)
+        # The point's own axis column wins (configuration-grid style).
+        assert [row["x"] for row in result.rows] == ["<1.0>", "<2.0>", "<3.0>"]
+
+    def test_params_override_applies(self):
+        result = run_scenario(_toy_scenario(), params={"offset": 0})
+        assert result.rows[0]["doubled"] == 2.0
+        assert result.spec.params["offset"] == 0
+
+    def test_values_override_applies(self):
+        result = run_scenario(_toy_scenario(), values=(7.0,))
+        assert [row["x"] for row in result.rows] == [7.0]
+
+    def test_parallel_matches_serial(self):
+        serial = run_scenario(_toy_scenario(), seed=3)
+        parallel = run_scenario(_toy_scenario(), seed=3, workers=2)
+        assert serial.rows == parallel.rows
+
+    def test_non_mapping_point_result_rejected(self):
+        entry = Scenario(
+            spec=_toy_scenario().spec,
+            point=_bad_point,
+            prepare=_toy_prepare,
+        )
+        with pytest.raises(ExperimentError, match="expected a mapping"):
+            run_scenario(entry)
+
+    def test_sweep_view_exposes_columns(self):
+        result = run_scenario(_toy_scenario())
+        assert result.sweep.values() == [1.0, 2.0, 3.0]
+        assert result.sweep.column("doubled") == [12.0, 14.0, 16.0]
+
+    def test_result_to_dict_is_serializable(self):
+        import json
+
+        payload = run_scenario(_toy_scenario()).to_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored["spec"]["name"] == "_toy"
+        assert len(restored["rows"]) == 3
+        assert restored["seed"] == 20010401
+
+
+def _bad_point(value, *, offset, seed):
+    del offset, seed
+    return [value]
+
+
+class TestRendering:
+    def test_render_uses_title_and_columns(self):
+        entry = Scenario(
+            spec=ScenarioSpec(
+                name="_toy_render",
+                description="toy",
+                axis="x",
+                values=(1.0,),
+                params={"offset": 0},
+                columns=("x", "doubled"),
+                title="Toy render",
+            ),
+            point=_toy_point,
+            prepare=_toy_prepare,
+        )
+        text = render_scenario(run_scenario(entry))
+        assert "Toy render" in text
+        assert "doubled" in text
+        # seed_seen is excluded by the column selection.
+        assert "seed_seen" not in text
+
+    def test_describe_lists_axis_params_and_tags(self):
+        text = describe_scenario("figure3")
+        assert "figure3" in text
+        assert "delta_min" in text
+        assert "detection_mode" in text
+        assert "paper" in text
+
+
+class TestPortedExperimentsMatchEngine:
+    """The classic module entry points are thin specs over the engine."""
+
+    def test_figure3_module_equals_scenario(self):
+        from repro.experiments import figure3
+
+        module_rows = figure3.run(deltas_min=(5.0,)).rows
+        engine_rows = run_scenario("figure3", values=(5.0,)).rows
+        assert module_rows == engine_rows
+
+    def test_table2_module_equals_scenario(self):
+        from repro.experiments import table2
+
+        assert table2.run() == run_scenario("table2").rows
+
+    def test_ablation_history_equals_scenario(self):
+        from repro.experiments.ablations import ablate_history
+
+        assert ablate_history() == run_scenario("ablation_history").rows
