@@ -21,7 +21,7 @@ from repro.consistency.limd import limd_policy_factory
 from repro.consistency.ttl import alex_policy_factory, static_ttl_policy_factory
 from repro.core.types import MINUTE
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import run_individual
+from repro.api.runs import run_individual
 from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import news_trace
 from repro.metrics.collector import collect_temporal

@@ -24,7 +24,7 @@ from repro.consistency.invalidation import (
 from repro.consistency.limd import limd_policy_factory
 from repro.core.types import MINUTE
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import run_individual
+from repro.api.runs import run_individual
 from repro.experiments.sweep import executor_for
 from repro.experiments.workloads import news_trace
 from repro.httpsim.network import Network

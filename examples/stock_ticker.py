@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.consistency.mutual_value import difference, paired_f_history
 from repro.core.types import TTRBounds
-from repro.experiments.runner import (
+from repro.api.runs import (
     run_mutual_value_adaptive,
     run_mutual_value_partitioned,
 )

@@ -1,0 +1,357 @@
+"""Fluent simulation construction and the config execution path.
+
+:class:`SimulationBuilder` assembles a typed
+:class:`~repro.api.config.SimulationConfig` step by step::
+
+    outcome = (
+        SimulationBuilder()
+        .workload("news", "cnn_fn", "nyt_ap")
+        .policy("limd", delta=600.0, ttr_max=3600.0)
+        .topology("single")
+        .seed(7)
+        .fidelity_delta(600.0)
+        .run()
+    )
+    print(outcome.results.to_csv())
+
+:func:`run_simulation` is the one execution path behind the builder,
+the ``repro run --config`` CLI, and any external caller holding a
+config: resolve the workload through the source registry, the policy
+through the consistency registry, assemble the stack via
+:func:`repro.api.runs.build_stack`, run to the horizon, and report a
+:class:`~repro.api.results.ResultSet` with a declared column schema.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.config import (
+    NetworkConfig,
+    PolicyConfig,
+    SimulationConfig,
+    SimulationConfigError,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.api.jsonable import thaw
+from repro.api.results import ResultSet
+from repro.api.runs import RunResult, build_stack
+from repro.api.workloads import resolve_workload
+from repro.consistency.base import PolicyFactory
+from repro.core.rng import derive_seed
+from repro.httpsim.network import LatencyModel, Network
+from repro.proxy.proxy import ProxyCache
+from repro.traces.model import UpdateTrace
+
+#: The declared schema every simulation outcome reports, per (node,
+#: object) pair.  Fidelity cells are ``None`` unless the config sets
+#: ``fidelity_delta_s``.
+RESULT_COLUMNS: Tuple[str, ...] = (
+    "node",
+    "object",
+    "updates",
+    "polls",
+    "fidelity_by_violations",
+    "fidelity_by_time",
+)
+
+
+@dataclass
+class SimulationOutcome:
+    """A finished config-driven simulation.
+
+    Attributes:
+        config: The exact configuration that ran.
+        run: Live simulation objects for deep inspection (the primary
+            proxy: the single proxy, or the hierarchy parent).
+        results: Per-(node, object) metric rows under the declared
+            :data:`RESULT_COLUMNS` schema.
+        edges: Edge proxies (empty for the ``single`` topology).
+    """
+
+    config: SimulationConfig
+    run: RunResult
+    results: ResultSet
+    edges: List[ProxyCache]
+
+
+def _policy_factory(policy: PolicyConfig) -> PolicyFactory:
+    # Imported lazily: repro.consistency.registry reuses
+    # repro.api.registries, so a top-level import here would cycle
+    # through the package __init__.
+    from repro.consistency.registry import build_policy_factory
+
+    try:
+        return build_policy_factory(
+            policy.name,
+            **{key: thaw(value) for key, value in policy.params.items()},
+        )
+    except TypeError as exc:
+        # JSON-legal but wrong-shaped params (missing/unknown keyword,
+        # bad value type) surface as the config error they are, not a
+        # raw TypeError traceback.
+        raise SimulationConfigError(
+            f"invalid params for policy {policy.name!r} "
+            f"({dict(policy.params)}): {exc}"
+        ) from None
+
+
+def _poll_fidelity(
+    proxy: ProxyCache, trace: UpdateTrace, delta: Optional[float]
+) -> Tuple[Optional[float], Optional[float]]:
+    if delta is None:
+        return None, None
+    from repro.metrics.collector import collect_temporal
+
+    report = collect_temporal(proxy, trace, delta).report
+    return report.fidelity_by_violations, report.fidelity_by_time
+
+
+def _snapshot_fidelity(
+    proxy: ProxyCache, trace: UpdateTrace, delta: Optional[float]
+) -> Tuple[Optional[float], Optional[float]]:
+    # Edge proxies refresh to *parent*-current state, which can itself
+    # be stale, so they are scored from the snapshots actually held.
+    if delta is None:
+        return None, None
+    from repro.metrics.fidelity import temporal_fidelity_from_snapshots
+
+    report = temporal_fidelity_from_snapshots(
+        trace, proxy.entry_for(trace.object_id).fetch_log, delta
+    )
+    return report.fidelity_by_violations, report.fidelity_by_time
+
+
+def _node_rows(
+    node: str,
+    proxy: ProxyCache,
+    traces: Sequence[UpdateTrace],
+    delta: Optional[float],
+    *,
+    snapshots: bool = False,
+) -> List[Dict[str, object]]:
+    score = _snapshot_fidelity if snapshots else _poll_fidelity
+    rows = []
+    for trace in traces:
+        violations, by_time = score(proxy, trace, delta)
+        rows.append(
+            {
+                "node": node,
+                "object": str(trace.object_id),
+                "updates": trace.update_count,
+                "polls": proxy.entry_for(trace.object_id).poll_count,
+                "fidelity_by_violations": violations,
+                "fidelity_by_time": by_time,
+            }
+        )
+    return rows
+
+
+def run_simulation(config: SimulationConfig) -> SimulationOutcome:
+    """Execute one :class:`SimulationConfig` end to end.
+
+    Deterministic in ``config.seed``; raises
+    :class:`~repro.api.config.SimulationConfigError` for unresolvable
+    sources, policies, or object keys before any simulation starts.
+    """
+    traces = resolve_workload(config.workload, config.seed)
+    policy_factory = _policy_factory(config.policy)
+    latency = LatencyModel(
+        one_way=config.network.one_way_latency_s,
+        jitter=config.network.jitter_s,
+    )
+
+    def _link_rng(name: str) -> Optional[random.Random]:
+        # Jitter draws need a seeded stream per link; without jitter the
+        # latency model never consults the rng, so skip the allocation
+        # (and keep the zero-latency hot path byte-identical).
+        if config.network.jitter_s == 0:
+            return None
+        return random.Random(derive_seed(config.seed, name))
+
+    kernel, server, proxy, event_log = build_stack(
+        traces,
+        supports_history=config.supports_history,
+        want_history=config.want_history,
+        latency=latency,
+        log_events=config.log_events,
+        network_rng=_link_rng("network"),
+    )
+
+    edges: List[ProxyCache] = []
+    if config.topology.kind == "hierarchy":
+        # `proxy` becomes the parent; edges poll it at the same policy.
+        for index in range(config.topology.edge_count):
+            edge = ProxyCache(
+                kernel,
+                Network(kernel, latency, rng=_link_rng(f"network.edge-{index}")),
+                name=f"edge-{index}",
+                want_history=config.want_history,
+                event_log=event_log,
+            )
+            edges.append(edge)
+    for trace in traces:
+        proxy.register_object(
+            trace.object_id, server, policy_factory(trace.object_id)
+        )
+        for edge in edges:
+            edge.register_object(
+                trace.object_id, proxy, policy_factory(trace.object_id)
+            )
+
+    horizon = (
+        config.horizon_s
+        if config.horizon_s is not None
+        else max(trace.end_time for trace in traces)
+    )
+    kernel.run(until=horizon)
+
+    delta = config.fidelity_delta_s
+    primary = "proxy" if not edges else "parent"
+    rows = _node_rows(primary, proxy, traces, delta)
+    for index, edge in enumerate(edges):
+        rows.extend(
+            _node_rows(f"edge-{index}", edge, traces, delta, snapshots=True)
+        )
+    return SimulationOutcome(
+        config=config,
+        run=RunResult(
+            kernel=kernel,
+            server=server,
+            proxy=proxy,
+            traces={trace.object_id: trace for trace in traces},
+            event_log=event_log,
+        ),
+        results=ResultSet(RESULT_COLUMNS, rows),
+        edges=edges,
+    )
+
+
+class SimulationBuilder:
+    """Fluent construction of a :class:`SimulationConfig`.
+
+    Every step returns the builder, so configurations read as one
+    chain; :meth:`build` produces the validated, serializable config
+    and :meth:`run` executes it directly.  Starting from an existing
+    config (``SimulationBuilder(config)``) makes the builder a typed
+    override mechanism.
+    """
+
+    def __init__(self, base: Optional[SimulationConfig] = None) -> None:
+        self._config = base if base is not None else SimulationConfig()
+
+    def workload(
+        self,
+        source: Union[str, WorkloadConfig],
+        *objects: str,
+        **params: object,
+    ) -> "SimulationBuilder":
+        """Select the workload: a source name plus object keys, or a config."""
+        if isinstance(source, WorkloadConfig):
+            if objects or params:
+                raise TypeError(
+                    "pass either a WorkloadConfig or source/objects/params, "
+                    "not both"
+                )
+            workload = source
+        else:
+            workload = WorkloadConfig(
+                source=source,
+                objects=objects or self._config.workload.objects,
+                params=params,
+            )
+        self._config = replace(self._config, workload=workload)
+        return self
+
+    def policy(
+        self, name: Union[str, PolicyConfig], **params: object
+    ) -> "SimulationBuilder":
+        """Select the consistency policy by registry name (plus kwargs)."""
+        if isinstance(name, PolicyConfig):
+            if params:
+                raise TypeError(
+                    "pass either a PolicyConfig or name/params, not both"
+                )
+            policy = name
+        else:
+            policy = PolicyConfig(name=name, params=params)
+        self._config = replace(self._config, policy=policy)
+        return self
+
+    def topology(
+        self, kind: Union[str, TopologyConfig], *, edge_count: Optional[int] = None
+    ) -> "SimulationBuilder":
+        """Select the proxy topology (``single`` or ``hierarchy``)."""
+        if isinstance(kind, TopologyConfig):
+            if edge_count is not None:
+                raise TypeError(
+                    "pass either a TopologyConfig or kind/edge_count, not both"
+                )
+            topology = kind
+        else:
+            topology = TopologyConfig(
+                kind=kind,
+                edge_count=(
+                    edge_count
+                    if edge_count is not None
+                    else self._config.topology.edge_count
+                ),
+            )
+        self._config = replace(self._config, topology=topology)
+        return self
+
+    def network(
+        self,
+        one_way_latency_s: Union[float, NetworkConfig] = 0.0,
+        *,
+        jitter_s: float = 0.0,
+    ) -> "SimulationBuilder":
+        """Set the link latency model."""
+        if isinstance(one_way_latency_s, NetworkConfig):
+            network = one_way_latency_s
+        else:
+            network = NetworkConfig(
+                one_way_latency_s=one_way_latency_s, jitter_s=jitter_s
+            )
+        self._config = replace(self._config, network=network)
+        return self
+
+    def seed(self, seed: int) -> "SimulationBuilder":
+        """Set the root RNG seed."""
+        self._config = replace(self._config, seed=seed)
+        return self
+
+    def horizon(self, horizon_s: Optional[float]) -> "SimulationBuilder":
+        """Set the stop time (``None``: run to the longest trace end)."""
+        self._config = replace(self._config, horizon_s=horizon_s)
+        return self
+
+    def fidelity_delta(self, delta_s: Optional[float]) -> "SimulationBuilder":
+        """Set the Δt used for the fidelity result columns."""
+        self._config = replace(self._config, fidelity_delta_s=delta_s)
+        return self
+
+    def history(
+        self, *, supports: bool = True, want: bool = True
+    ) -> "SimulationBuilder":
+        """Configure origin history support and proxy history requests."""
+        self._config = replace(
+            self._config, supports_history=supports, want_history=want
+        )
+        return self
+
+    def log_events(self, enabled: bool = True) -> "SimulationBuilder":
+        """Enable (or disable) event-log recording."""
+        self._config = replace(self._config, log_events=enabled)
+        return self
+
+    def build(self) -> SimulationConfig:
+        """The validated, serializable configuration built so far."""
+        return self._config
+
+    def run(self) -> SimulationOutcome:
+        """Build and execute in one step."""
+        return run_simulation(self.build())

@@ -1,0 +1,363 @@
+"""Typed, JSON-round-trip simulation configuration.
+
+:class:`SimulationConfig` is the declarative description of one
+simulation — *which* workload feeds *which* consistency policy over
+*which* proxy topology and network — as plain data.  It composes four
+sub-configs (:class:`WorkloadConfig`, :class:`PolicyConfig`,
+:class:`TopologyConfig`, :class:`NetworkConfig`), each frozen, validated
+on construction, and serializable with the same discipline as
+:class:`~repro.scenarios.spec.ScenarioSpec`:
+
+* ``to_dict → json.dumps → json.loads → from_dict`` is the identity;
+* unknown fields are rejected (a typo'd knob is an error, not a
+  silently ignored setting);
+* wrong-shaped values fail at parse time with the field named.
+
+Configs are *data only*: resolving a policy name to a factory or a
+workload source to traces happens in :mod:`repro.api.builder` /
+:mod:`repro.api.workloads`, so a config file can be validated without
+running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING as _MISSING
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+
+from repro.api.jsonable import check_jsonable, freeze, thaw
+from repro.core.errors import ReproError
+from repro.core.rng import DEFAULT_SEED
+
+C = TypeVar("C", bound="_ConfigBase")
+
+#: Topology kinds the assembly layer understands.
+TOPOLOGY_KINDS = ("single", "hierarchy")
+
+
+class SimulationConfigError(ReproError):
+    """A simulation configuration was malformed or inconsistent."""
+
+
+def _require_str(owner: str, name: str, value: object) -> str:
+    if not isinstance(value, str):
+        raise SimulationConfigError(
+            f"{owner}.{name} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_bool(owner: str, name: str, value: object) -> bool:
+    if not isinstance(value, bool):
+        raise SimulationConfigError(
+            f"{owner}.{name} must be a boolean, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_int(owner: str, name: str, value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SimulationConfigError(
+            f"{owner}.{name} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _require_float(owner: str, name: str, value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SimulationConfigError(
+            f"{owner}.{name} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _require_params(owner: str, value: object) -> Dict[str, object]:
+    if not isinstance(value, Mapping):
+        raise SimulationConfigError(
+            f"{owner}.params must be a mapping, got {type(value).__name__}"
+        )
+    for key, item in value.items():
+        if not isinstance(key, str):
+            raise SimulationConfigError(
+                f"{owner}.params keys must be strings, got {key!r}"
+            )
+        check_jsonable(f"{owner}.params.{key}", item, SimulationConfigError)
+    return {key: freeze(item) for key, item in value.items()}
+
+
+class _ConfigBase:
+    """Shared strict ``from_dict`` for every config dataclass."""
+
+    @classmethod
+    def from_dict(cls: Type[C], data: Mapping[str, object]) -> C:
+        """Build from a plain mapping, rejecting unknown fields."""
+        if not isinstance(data, Mapping):
+            raise SimulationConfigError(
+                f"{cls.__name__} must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SimulationConfigError(
+                f"unknown {cls.__name__} field(s): {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        required = {
+            f.name
+            for f in fields(cls)  # type: ignore[arg-type]
+            if f.default is _MISSING and f.default_factory is _MISSING  # type: ignore[misc]
+        }
+        missing = sorted(required - set(data))
+        if missing:
+            raise SimulationConfigError(
+                f"missing {cls.__name__} field(s): {missing}"
+            )
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig(_ConfigBase):
+    """Which update traces drive the simulation.
+
+    Attributes:
+        source: Registered workload source ("news", "stocks", ...); see
+            :mod:`repro.api.workloads`.
+        objects: Trace keys to instantiate (one cached object each).
+        params: Source-specific knobs, passed to the source factory.
+    """
+
+    source: str = "news"
+    objects: Tuple[str, ...] = ("cnn_fn",)
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_str("workload", "source", self.source)
+        if not self.source:
+            raise SimulationConfigError("workload.source must be non-empty")
+        if isinstance(self.objects, (str, bytes)) or not isinstance(
+            self.objects, Sequence
+        ):
+            raise SimulationConfigError(
+                "workload.objects must be a sequence of trace keys, got "
+                f"{type(self.objects).__name__}"
+            )
+        items = tuple(self.objects)
+        if not items:
+            raise SimulationConfigError("workload.objects must be non-empty")
+        for item in items:
+            if not isinstance(item, str) or not item:
+                raise SimulationConfigError(
+                    f"workload.objects entries must be non-empty strings, "
+                    f"got {item!r}"
+                )
+        object.__setattr__(self, "objects", items)
+        object.__setattr__(self, "params", _require_params("workload", self.params))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "objects": list(self.objects),
+            "params": {k: thaw(v) for k, v in self.params.items()},
+        }
+
+
+@dataclass(frozen=True)
+class PolicyConfig(_ConfigBase):
+    """Which consistency policy every cached object runs.
+
+    ``name`` resolves through the consistency-policy registry
+    (:func:`repro.consistency.registry.build_policy_factory`); ``params``
+    are its keyword arguments — e.g. ``{"delta": 600.0}`` for
+    ``baseline`` or ``{"delta": 600.0, "ttr_max": 3600.0}`` for
+    ``limd``.
+    """
+
+    name: str = "limd"
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_str("policy", "name", self.name)
+        if not self.name:
+            raise SimulationConfigError("policy.name must be non-empty")
+        object.__setattr__(self, "params", _require_params("policy", self.params))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "params": {k: thaw(v) for k, v in self.params.items()},
+        }
+
+
+@dataclass(frozen=True)
+class TopologyConfig(_ConfigBase):
+    """How proxies sit between clients and the origin.
+
+    ``single`` is one proxy polling the origin (the paper's setting);
+    ``hierarchy`` is ``edge_count`` edge proxies polling one shared
+    parent that alone polls the origin (the topology extension).
+    """
+
+    kind: str = "single"
+    edge_count: int = 4
+
+    def __post_init__(self) -> None:
+        _require_str("topology", "kind", self.kind)
+        if self.kind not in TOPOLOGY_KINDS:
+            raise SimulationConfigError(
+                f"topology.kind must be one of {TOPOLOGY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        _require_int("topology", "edge_count", self.edge_count)
+        if self.edge_count < 1:
+            raise SimulationConfigError(
+                f"topology.edge_count must be >= 1, got {self.edge_count}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "edge_count": self.edge_count}
+
+
+@dataclass(frozen=True)
+class NetworkConfig(_ConfigBase):
+    """Proxy ↔ origin link model (fixed one-way latency, optional jitter)."""
+
+    one_way_latency_s: float = 0.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "one_way_latency_s",
+            _require_float("network", "one_way_latency_s", self.one_way_latency_s),
+        )
+        object.__setattr__(
+            self, "jitter_s", _require_float("network", "jitter_s", self.jitter_s)
+        )
+        if self.one_way_latency_s < 0:
+            raise SimulationConfigError(
+                f"network.one_way_latency_s must be >= 0, "
+                f"got {self.one_way_latency_s}"
+            )
+        if self.jitter_s < 0 or self.jitter_s > self.one_way_latency_s:
+            raise SimulationConfigError(
+                f"network.jitter_s must be in [0, one_way_latency_s], "
+                f"got {self.jitter_s}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "one_way_latency_s": self.one_way_latency_s,
+            "jitter_s": self.jitter_s,
+        }
+
+
+#: SimulationConfig fields holding a nested sub-config, with their types.
+_SUB_CONFIGS: Dict[str, type] = {
+    "workload": WorkloadConfig,
+    "policy": PolicyConfig,
+    "topology": TopologyConfig,
+    "network": NetworkConfig,
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig(_ConfigBase):
+    """The complete, serializable description of one simulation.
+
+    Attributes:
+        workload: Traces to feed (source + object keys + knobs).
+        policy: Per-object consistency policy (registry name + params).
+        topology: Proxy arrangement between clients and origin.
+        network: Link latency model.
+        seed: Root RNG seed (derives every substream).
+        horizon_s: Stop time; ``None`` runs to the longest trace end.
+        fidelity_delta_s: Δt used for the fidelity columns of the
+            result set; ``None`` skips fidelity evaluation.
+        supports_history: Whether the origin answers history requests.
+        want_history: Whether the proxy requests update history.
+        log_events: Whether to record the event log (costly; off by
+            default).
+    """
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    # The default config must be runnable out of the box: LIMD needs its
+    # Δ, so the paper's 10-minute default rides along.
+    policy: PolicyConfig = field(
+        default_factory=lambda: PolicyConfig(
+            name="limd", params={"delta": 600.0}
+        )
+    )
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    seed: int = DEFAULT_SEED
+    horizon_s: Optional[float] = None
+    fidelity_delta_s: Optional[float] = None
+    supports_history: bool = True
+    want_history: bool = True
+    log_events: bool = False
+
+    def __post_init__(self) -> None:
+        for name, sub_type in _SUB_CONFIGS.items():
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                value = sub_type.from_dict(value)
+                object.__setattr__(self, name, value)
+            if not isinstance(value, sub_type):
+                raise SimulationConfigError(
+                    f"{name} must be a {sub_type.__name__} (or mapping), "
+                    f"got {type(value).__name__}"
+                )
+        _require_int("simulation", "seed", self.seed)
+        for name in ("horizon_s", "fidelity_delta_s"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self, name, _require_float("simulation", name, value)
+                )
+                if getattr(self, name) <= 0:
+                    raise SimulationConfigError(
+                        f"simulation.{name} must be > 0, got {value!r}"
+                    )
+        for name in ("supports_history", "want_history", "log_events"):
+            _require_bool("simulation", name, getattr(self, name))
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Return a copy running under a different root seed."""
+        return replace(self, seed=seed)
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with ``changes`` applied (validated as usual)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form: nested dicts and lists, safe to ``json.dumps``."""
+        return {
+            "workload": self.workload.to_dict(),
+            "policy": self.policy.to_dict(),
+            "topology": self.topology.to_dict(),
+            "network": self.network.to_dict(),
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "fidelity_delta_s": self.fidelity_delta_s,
+            "supports_history": self.supports_history,
+            "want_history": self.want_history,
+            "log_events": self.log_events,
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationConfigError(f"invalid config JSON: {exc}") from None
+        return cls.from_dict(data)

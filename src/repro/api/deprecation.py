@@ -1,0 +1,31 @@
+"""Deprecation machinery for the :mod:`repro.api` migration.
+
+Old entry points (the :mod:`repro.experiments.runner` assembly helpers,
+the :mod:`repro.scenarios.registry` lookup functions) keep working but
+emit :class:`ReproDeprecationWarning` pointing at their façade
+replacement.  The warning subclass exists so the test suite can turn
+*our* deprecations into errors (``filterwarnings`` in ``pyproject.toml``)
+without touching third-party ``DeprecationWarning`` noise, and so the
+dedicated shim tests can assert it precisely.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated ``repro`` entry point was used; see ``repro.api``."""
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a shimmed entry point.
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller*
+    of the shim function, not the shim body or this helper.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )

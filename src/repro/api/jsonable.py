@@ -1,0 +1,62 @@
+"""Shared helpers for JSON-round-trip config objects.
+
+:class:`~repro.scenarios.spec.ScenarioSpec` and the
+:mod:`repro.api.config` dataclasses enforce the same discipline — every
+stored value must survive ``to_dict → json → from_dict`` unchanged, with
+unknown fields and bad types rejected loudly.  The value-shape helpers
+live here so both implement it identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+#: JSON scalar types allowed in config/params values (bool before int:
+#: bool is an int subclass and must be recognised first).
+JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+def check_jsonable(
+    name: str, value: object, error: Callable[[str], Exception]
+) -> None:
+    """Reject ``value`` unless it would survive a JSON round trip.
+
+    ``error`` builds the exception from a message, so each caller keeps
+    its own exception type.
+    """
+    if isinstance(value, JSON_SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            check_jsonable(f"{name}[{index}]", item, error)
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise error(
+                    f"param {name!r}: mapping keys must be str, got {key!r}"
+                )
+            check_jsonable(f"{name}.{key}", item, error)
+        return
+    raise error(
+        f"param {name!r} has non-JSON-serializable type "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def freeze(value: object) -> object:
+    """Deep-copy a JSON-shaped value into hashable/immutable form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if isinstance(value, Mapping):
+        return {key: freeze(item) for key, item in value.items()}
+    return value
+
+
+def thaw(value: object) -> object:
+    """The inverse of :func:`freeze` for serialization: tuples → lists."""
+    if isinstance(value, tuple):
+        return [thaw(item) for item in value]
+    if isinstance(value, Mapping):
+        return {key: thaw(item) for key, item in value.items()}
+    return value

@@ -1,0 +1,188 @@
+"""First-class result containers for simulation and scenario output.
+
+Engines used to hand back bare lists of row dicts; :class:`ResultSet`
+replaces that at the API boundary with a container that knows its own
+column schema:
+
+* **Declared columns, stable order** — the schema is explicit (or
+  inferred once, first-seen across all rows) and every exporter emits
+  columns in exactly that order, so CSV headers and JSON key order
+  never depend on which row happened to come first.
+* **Uniform exporters** — ``to_records()`` (plain dicts),
+  ``to_json()`` (schema + rows), ``to_csv()`` (spreadsheet-ready), and
+  ``column()`` for analysis.
+* **Cells may be missing** — a row without a column exports ``None``
+  (empty CSV cell); a row with an *undeclared* column is an error,
+  because silently dropping data is how regressions hide.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+
+
+class ResultSchemaError(ReproError):
+    """Rows and the declared column schema disagree."""
+
+
+class ResultRow(Mapping[str, object]):
+    """One result row: a read-only mapping in declared column order.
+
+    Iteration and ``keys()`` follow the owning :class:`ResultSet`'s
+    column order, skipping columns this row has no value for.
+    """
+
+    __slots__ = ("_columns", "_cells")
+
+    def __init__(
+        self, columns: Tuple[str, ...], cells: Mapping[str, object]
+    ) -> None:
+        self._columns = columns
+        self._cells = dict(cells)
+
+    def __getitem__(self, key: str) -> object:
+        return self._cells[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name in self._columns if name in self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._cells.get(key, default)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain dict, keys in declared column order."""
+        return {name: self._cells[name] for name in self}
+
+    def __repr__(self) -> str:
+        cells = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items())
+        return f"ResultRow({cells})"
+
+
+class ResultSet:
+    """An ordered collection of result rows with a declared schema.
+
+    Args:
+        columns: The column names, in export order.
+        rows: Row mappings; every key must appear in ``columns``.
+
+    Rows keep their input order — for sweeps that is axis order, which
+    the executors already guarantee serial/parallel identical.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Mapping[str, object]] = (),
+    ) -> None:
+        names = tuple(columns)
+        if len(set(names)) != len(names):
+            raise ResultSchemaError(f"duplicate column names in {names!r}")
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise ResultSchemaError(
+                    f"column names must be non-empty strings, got {name!r}"
+                )
+        self.columns: Tuple[str, ...] = names
+        self._rows: List[ResultRow] = []
+        for index, row in enumerate(rows):
+            extra = sorted(set(row) - set(names))
+            if extra:
+                raise ResultSchemaError(
+                    f"row {index} has undeclared column(s) {extra}; "
+                    f"declared: {list(names)}"
+                )
+            self._rows.append(ResultRow(self.columns, row))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Mapping[str, object]],
+        *,
+        columns: Optional[Sequence[str]] = None,
+    ) -> "ResultSet":
+        """Build from row dicts, inferring the schema when not given.
+
+        Inferred column order is first-seen across all rows, so later
+        rows may introduce columns (they sort after earlier ones) but
+        can never reorder established ones.
+        """
+        if columns is None:
+            seen: Dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        return cls(columns, records)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> ResultRow:
+        return self._rows[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def column(self, name: str) -> List[object]:
+        """One column across all rows (missing cells → ``None``)."""
+        if name not in self.columns:
+            raise ResultSchemaError(
+                f"unknown column {name!r}; declared: {list(self.columns)}"
+            )
+        return [row.get(name) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, object]]:
+        """Rows as plain dicts, keys in declared column order."""
+        return [row.to_dict() for row in self._rows]
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """JSON document carrying the schema and the rows.
+
+        Shape: ``{"columns": [...], "rows": [{...}, ...]}`` — rows are
+        objects (not arrays) so the output is self-describing even when
+        cells are missing.
+        """
+        return json.dumps(
+            {"columns": list(self.columns), "rows": self.to_records()},
+            indent=indent,
+            sort_keys=False,
+        )
+
+    def to_csv(self) -> str:
+        """CSV with the declared header, missing cells left empty."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(self.columns), lineterminator="\n"
+        )
+        writer.writeheader()
+        for row in self._rows:
+            writer.writerow(
+                {name: row.get(name, "") for name in self.columns}
+            )
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultSet(columns={list(self.columns)!r}, "
+            f"rows={len(self._rows)})"
+        )

@@ -10,6 +10,13 @@ Usage (installed or from a checkout)::
     python -m repro report                    # full Markdown report
     python -m repro ablations                 # all ablation studies
 
+Arbitrary simulations run from a typed JSON config
+(:class:`repro.api.SimulationConfig`)::
+
+    python -m repro run --config cfg.json         # table of result rows
+    python -m repro run --config cfg.json --json  # ResultSet JSON
+    python -m repro run --config cfg.json --csv   # ResultSet CSV
+
 The declarative scenario engine has its own command group::
 
     python -m repro scenarios list            # every registered scenario
@@ -173,6 +180,10 @@ def _list_experiments() -> str:
         "\nDeclarative scenarios: `python -m repro scenarios list` "
         "(run any of them with `scenarios run <name>`)."
     )
+    lines.append(
+        "Typed configs: `python -m repro run --config cfg.json` "
+        "executes a repro.api.SimulationConfig JSON file."
+    )
     return "\n".join(lines)
 
 
@@ -306,10 +317,9 @@ def _parse_axis_value(text: str) -> object:
 def _scenarios_main(argv: Sequence[str]) -> int:
     """Entry point for the ``scenarios`` command group."""
     from repro.scenarios import (
+        SCENARIOS,
         UnknownScenarioError,
         describe_scenario,
-        get_scenario,
-        list_scenarios,
         parse_param_overrides,
         render_scenario,
         run_scenario,
@@ -317,7 +327,7 @@ def _scenarios_main(argv: Sequence[str]) -> int:
 
     args = build_scenarios_parser().parse_args(argv)
     if args.command == "list":
-        entries = list_scenarios()
+        entries = SCENARIOS.values()
         width = max(len(entry.spec.name) for entry in entries)
         lines = ["Registered scenarios:"]
         for entry in entries:
@@ -333,7 +343,7 @@ def _scenarios_main(argv: Sequence[str]) -> int:
         return 0
 
     try:
-        get_scenario(args.name)
+        SCENARIOS.get(args.name)
     except UnknownScenarioError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -377,6 +387,80 @@ def _scenarios_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_run_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro run`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Execute one simulation described by a typed JSON "
+            "SimulationConfig (see docs/API_GUIDE.md for the schema)."
+        ),
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="path to a SimulationConfig JSON file",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the config's RNG seed",
+    )
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ResultSet as JSON (columns + rows)",
+    )
+    output.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the ResultSet as CSV",
+    )
+    return parser
+
+
+def _run_config_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro run --config cfg.json``."""
+    from repro.api import SimulationConfig, run_simulation
+    from repro.core.errors import ReproError
+    from repro.experiments.render import render_dict_rows
+
+    args = build_run_parser().parse_args(argv)
+    try:
+        text = open(args.config, encoding="utf-8").read()
+    except OSError as exc:
+        print(f"cannot read config: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = SimulationConfig.from_json(text)
+        if args.seed is not None:
+            config = config.with_seed(args.seed)
+        outcome = run_simulation(config)
+    except ReproError as exc:
+        print(f"invalid simulation configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(outcome.results.to_json(indent=2))
+    elif args.csv:
+        print(outcome.results.to_csv(), end="")
+    else:
+        print(
+            render_dict_rows(
+                outcome.results.to_records(),
+                columns=list(outcome.results.columns),
+                title=(
+                    f"Simulation: {config.workload.source} workload, "
+                    f"{config.policy.name} policy, "
+                    f"{config.topology.kind} topology (seed {config.seed})"
+                ),
+            )
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: run one experiment and print its output."""
     if argv is None:
@@ -384,6 +468,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_config_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":

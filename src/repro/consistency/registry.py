@@ -1,13 +1,18 @@
 """Policy registry: build refresh policies by name.
 
-Experiments and examples configure policies from strings/dicts (e.g.
-sweep definitions); the registry centralises name → factory resolution
-so new policies plug in without touching the harness.
+Experiments and examples configure policies from strings/dicts (sweep
+definitions, :class:`~repro.api.config.PolicyConfig`); the registry
+centralises name → factory resolution so new policies plug in without
+touching the harness.  Backed by the same generic
+:class:`~repro.api.registries.Registry` the scenario and
+workload-source lookups use.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
+
+from repro.api.registries import Registry
 
 from repro.consistency.adaptive_value import (
     AdaptiveValueParameters,
@@ -26,19 +31,28 @@ from repro.core.types import Seconds
 #: A registry entry: builds a PolicyFactory from keyword arguments.
 FactoryBuilder = Callable[..., PolicyFactory]
 
-_REGISTRY: Dict[str, FactoryBuilder] = {}
+#: The policy registry; ``POLICIES.names()`` lists the built-ins.
+POLICIES: Registry[FactoryBuilder] = Registry(
+    "policy",
+    error_factory=lambda name, known: PolicyConfigurationError(
+        f"unknown policy {name!r}; available: {known}"
+    ),
+)
 
 
 def register_policy(name: str, builder: FactoryBuilder) -> None:
     """Register a policy builder under a unique name."""
-    if name in _REGISTRY:
-        raise PolicyConfigurationError(f"policy {name!r} already registered")
-    _REGISTRY[name] = builder
+    try:
+        POLICIES.register(name, builder)
+    except KeyError:
+        raise PolicyConfigurationError(
+            f"policy {name!r} already registered"
+        ) from None
 
 
 def available_policies() -> list[str]:
     """Names of all registered policies, sorted."""
-    return sorted(_REGISTRY)
+    return POLICIES.names()
 
 
 def build_policy_factory(name: str, **kwargs) -> PolicyFactory:
@@ -47,12 +61,7 @@ def build_policy_factory(name: str, **kwargs) -> PolicyFactory:
     Built-in names: ``baseline`` (fixed-interval poller), ``limd``,
     ``adaptive_value``, ``passive``.
     """
-    builder = _REGISTRY.get(name)
-    if builder is None:
-        raise PolicyConfigurationError(
-            f"unknown policy {name!r}; available: {available_policies()}"
-        )
-    return builder(**kwargs)
+    return POLICIES.get(name)(**kwargs)
 
 
 def _build_baseline(*, delta: Seconds) -> PolicyFactory:

@@ -14,6 +14,10 @@ import hashlib
 import random
 from typing import Dict
 
+#: The seed every experiment uses unless overridden (ICDCS 2001, April).
+#: Canonical home; :mod:`repro.experiments.workloads` re-exports it.
+DEFAULT_SEED = 20010401
+
 
 def derive_seed(root_seed: int, name: str) -> int:
     """Derive a deterministic 64-bit seed for a named substream.

@@ -18,7 +18,10 @@ listable, overridable, and runnable by name via
 ``python -m repro scenarios run <name>``.
 """
 
-from repro.experiments.runner import (
+# Canonical homes moved to the repro.api façade; re-exported here so
+# `from repro.experiments import run_individual` stays warning-free.
+# (repro.experiments.runner remains as a deprecation shim module.)
+from repro.api.runs import (
     RunResult,
     run_individual,
     run_many,

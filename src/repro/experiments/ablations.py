@@ -40,7 +40,7 @@ from repro.core.types import MINUTE, Seconds, TTRBounds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.figure7 import VALUE_BOUNDS
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import (
+from repro.api.runs import (
     run_individual,
     run_mutual_temporal,
     run_mutual_value_partitioned,

@@ -21,7 +21,7 @@ from repro.consistency.base import fixed_policy_factory
 from repro.consistency.limd import LimdParameters, limd_policy_factory
 from repro.core.types import MINUTE, Seconds
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import run_individual
+from repro.api.runs import run_individual
 from repro.experiments.sweep import SweepResult
 from repro.experiments.workloads import DEFAULT_SEED
 from repro.metrics.collector import collect_temporal

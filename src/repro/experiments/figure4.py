@@ -18,7 +18,7 @@ from repro.core.types import HOUR, MINUTE, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_series_block
 from repro.experiments.workloads import DEFAULT_SEED, news_trace
-from repro.experiments.runner import RunResult, run_individual
+from repro.api.runs import RunResult, run_individual
 from repro.metrics.series import (
     ttr_knots_from_proxy_events,
     ttr_series,

@@ -18,7 +18,7 @@ from repro.consistency.mutual_temporal import MutualTemporalMode
 from repro.core.types import MINUTE, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import run_mutual_temporal
+from repro.api.runs import run_mutual_temporal
 from repro.experiments.sweep import SweepResult
 from repro.experiments.workloads import DEFAULT_SEED
 from repro.metrics.collector import (

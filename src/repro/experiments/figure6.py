@@ -22,7 +22,7 @@ from repro.consistency.mutual_temporal import MutualTemporalMode, TriggerDecisio
 from repro.core.types import HOUR, MINUTE, Seconds
 from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX
 from repro.experiments.render import render_series_block
-from repro.experiments.runner import RunResult, run_mutual_temporal
+from repro.api.runs import RunResult, run_mutual_temporal
 from repro.experiments.workloads import DEFAULT_SEED, news_trace
 from repro.metrics.series import extra_polls_series, update_ratio_series
 

@@ -18,7 +18,7 @@ from typing import Dict, Optional, Sequence
 from repro.consistency.mutual_value import difference
 from repro.core.types import TTRBounds
 from repro.experiments.render import render_dict_rows
-from repro.experiments.runner import (
+from repro.api.runs import (
     run_mutual_value_adaptive,
     run_mutual_value_partitioned,
 )

@@ -18,7 +18,7 @@ from repro.consistency.mutual_value import difference, paired_f_history
 from repro.core.types import Seconds, TTRBounds
 from repro.experiments.figure7 import VALUE_BOUNDS
 from repro.experiments.render import render_series_block
-from repro.experiments.runner import (
+from repro.api.runs import (
     RunResult,
     run_many,
     run_mutual_value_adaptive,

@@ -32,7 +32,16 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from repro.core.errors import ExperimentError
 from repro.core.rng import RngRegistry, derive_seed
@@ -41,6 +50,13 @@ from repro.core.rng import RngRegistry, derive_seed
 #: Builders that opt into per-point RNG (``run_sweep(..., seed=...)``)
 #: must additionally accept an ``rng`` keyword argument.
 RowBuilder = Callable[[float], Mapping[str, object]]
+
+#: Generic task/result types of the executor seam: ``map`` preserves the
+#: relationship between what goes in and what comes out, so callers
+#: (``run_sweep`` over :class:`PointTask`, :func:`repro.api.run_many`
+#: over builder-produced run-specs) type-check end to end.
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass
@@ -125,7 +141,7 @@ class SweepExecutor:
     runtimes vary wildly (small Δ sweeps cost far more than large Δ).
     """
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, returning ordered results."""
         raise NotImplementedError
 
@@ -133,7 +149,7 @@ class SweepExecutor:
 class SerialExecutor(SweepExecutor):
     """Run every task in-process, sequentially — the reference executor."""
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
 
 
@@ -151,7 +167,7 @@ class ParallelExecutor(SweepExecutor):
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers or os.cpu_count() or 1
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
         if len(items) <= 1 or self.workers == 1:
             return [fn(item) for item in items]

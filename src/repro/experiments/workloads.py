@@ -8,13 +8,18 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.rng import RngRegistry
+from repro.core.rng import DEFAULT_SEED, RngRegistry
 from repro.traces.model import UpdateTrace
 from repro.traces.news import generate_table2_traces
 from repro.traces.stocks import generate_table3_traces
 
-#: The seed used by every bench unless overridden.
-DEFAULT_SEED = 20010401  # ICDCS 2001, April
+__all__ = [
+    "DEFAULT_SEED",
+    "news_trace",
+    "news_traces",
+    "stock_trace",
+    "stock_traces",
+]
 
 
 def news_traces(seed: int = DEFAULT_SEED) -> Dict[str, UpdateTrace]:

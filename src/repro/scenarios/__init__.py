@@ -25,6 +25,7 @@ from repro.scenarios.engine import (
     run_scenario,
 )
 from repro.scenarios.registry import (
+    SCENARIOS,
     Scenario,
     UnknownScenarioError,
     get_scenario,
@@ -41,6 +42,7 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "DEFAULT_SEED",
+    "SCENARIOS",
     "Scenario",
     "ScenarioResult",
     "ScenarioSpec",

@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.api.results import ResultSet
 from repro.core.errors import ExperimentError
+from repro.core.rng import DEFAULT_SEED
 from repro.experiments.render import render_dict_rows
 from repro.experiments.sweep import SweepResult, executor_for
-from repro.experiments.workloads import DEFAULT_SEED
-from repro.scenarios.registry import PointFn, Scenario, get_scenario
+from repro.scenarios.registry import SCENARIOS, PointFn, Scenario
 from repro.scenarios.spec import AxisValue, ScenarioSpec
 
 
@@ -43,12 +44,24 @@ class ScenarioResult:
         """The rows viewed as a :class:`SweepResult` over the axis."""
         return SweepResult(parameter=self.spec.axis, rows=self.rows)
 
+    @property
+    def result_set(self) -> ResultSet:
+        """The rows as a :class:`~repro.api.results.ResultSet`.
+
+        The schema is inferred first-seen across the rows (points may
+        report topology-specific extra columns), so the declared order
+        matches row-dict order exactly.
+        """
+        return ResultSet.from_records(self.rows)
+
     def to_dict(self) -> Dict[str, object]:
-        """Serializable form: the full configuration plus every row."""
+        """Serializable form: configuration, schema, and every row."""
+        results = self.result_set
         return {
             "spec": self.spec.to_dict(),
             "seed": self.seed,
-            "rows": self.rows,
+            "columns": list(results.columns),
+            "rows": results.to_records(),
         }
 
 
@@ -82,7 +95,7 @@ def _resolve(
     params: Optional[Mapping[str, object]],
     values: Optional[Sequence[AxisValue]],
 ) -> Scenario:
-    entry = get_scenario(target) if isinstance(target, str) else target
+    entry = SCENARIOS.get(target) if isinstance(target, str) else target
     spec = entry.spec
     if params:
         spec = spec.with_params(params)
@@ -136,7 +149,7 @@ def render_scenario(result: ScenarioResult) -> str:
 
 def describe_scenario(target: Union[str, Scenario]) -> str:
     """Human-readable description of a scenario's spec."""
-    entry = get_scenario(target) if isinstance(target, str) else target
+    entry = SCENARIOS.get(target) if isinstance(target, str) else target
     spec = entry.spec
     lines = [
         f"{spec.name} — {spec.description}",

@@ -26,13 +26,22 @@ Registration is declarative::
 
 Point functions must be module-level (pickling requirement, exactly as
 for :mod:`repro.experiments.sweep` row builders).
+
+Lookup goes through :data:`SCENARIOS`, a
+:class:`repro.api.registries.Registry` shared with the consistency and
+workload-source registries (``SCENARIOS.get(name)``,
+``SCENARIOS.names()``).  The historical module-level lookup functions
+(``get_scenario`` / ``scenario_names`` / ``list_scenarios``) remain as
+deprecation shims.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
+from repro.api.deprecation import warn_deprecated
+from repro.api.registries import Registry
 from repro.core.errors import ReproError
 from repro.scenarios.spec import AxisValue, ScenarioSpec
 
@@ -84,8 +93,22 @@ class Scenario:
     prepare: PrepareFn = _prepare_nothing
 
 
-_REGISTRY: Dict[str, Scenario] = {}
-_BUILTINS_LOADED = False
+def _load_builtins() -> None:
+    """Import the modules whose import side-effect is registration."""
+    # Imported for their @scenario decorators; order matters only for
+    # listing aesthetics (builtin paper scenarios first).
+    import repro.scenarios.builtin  # noqa: F401
+    import repro.scenarios.families  # noqa: F401
+
+
+#: The scenario registry: ``SCENARIOS.get(name)`` resolves one entry,
+#: ``SCENARIOS.names()`` lists them, ``in`` tests membership.  Built-in
+#: scenarios load lazily on first lookup.
+SCENARIOS: Registry[Scenario] = Registry(
+    "scenario",
+    error_factory=lambda name, known: UnknownScenarioError(name, known),
+    loader=_load_builtins,
+)
 
 
 def scenario(
@@ -123,41 +146,36 @@ def scenario(
 
 def register_scenario(entry: Scenario) -> None:
     """Add a scenario to the registry (duplicate names are an error)."""
-    if entry.spec.name in _REGISTRY:
-        raise ValueError(
-            f"scenario {entry.spec.name!r} is already registered"
-        )
-    _REGISTRY[entry.spec.name] = entry
+    SCENARIOS.register(entry.spec.name, entry)
 
 
-def _ensure_builtins() -> None:
-    """Import the modules whose import side-effect is registration."""
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    _BUILTINS_LOADED = True
-    # Imported for their @scenario decorators; order matters only for
-    # listing aesthetics (builtin paper scenarios first).
-    import repro.scenarios.builtin  # noqa: F401
-    import repro.scenarios.families  # noqa: F401
+# ----------------------------------------------------------------------
+# Deprecated lookup shims (use the SCENARIOS registry object instead)
+# ----------------------------------------------------------------------
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up one scenario by name."""
-    _ensure_builtins()
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise UnknownScenarioError(name, scenario_names()) from None
+    """Deprecated alias of ``SCENARIOS.get(name)``."""
+    warn_deprecated(
+        "repro.scenarios.registry.get_scenario",
+        "repro.scenarios.registry.SCENARIOS.get",
+    )
+    return SCENARIOS.get(name)
 
 
 def scenario_names() -> List[str]:
-    """All registered scenario names, sorted."""
-    _ensure_builtins()
-    return sorted(_REGISTRY)
+    """Deprecated alias of ``SCENARIOS.names()``."""
+    warn_deprecated(
+        "repro.scenarios.registry.scenario_names",
+        "repro.scenarios.registry.SCENARIOS.names",
+    )
+    return SCENARIOS.names()
 
 
 def list_scenarios() -> List[Scenario]:
-    """All registered scenarios, sorted by name."""
-    _ensure_builtins()
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    """Deprecated alias of ``SCENARIOS.values()``."""
+    warn_deprecated(
+        "repro.scenarios.registry.list_scenarios",
+        "repro.scenarios.registry.SCENARIOS.values",
+    )
+    return SCENARIOS.values()

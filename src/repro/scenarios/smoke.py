@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenarios.engine import DEFAULT_SEED, ScenarioResult, run_scenario
-from repro.scenarios.registry import scenario_names
+from repro.scenarios.registry import SCENARIOS
 
 
 @dataclass(frozen=True)
@@ -120,7 +120,7 @@ def golden_payload(name: str, result: ScenarioResult) -> Dict[str, object]:
 
 def all_tiny_scenarios() -> List[str]:
     """Registered scenario names, asserting tiny coverage is complete."""
-    names = scenario_names()
+    names = SCENARIOS.names()
     missing = sorted(set(names) - set(TINY_CONFIGS))
     if missing:
         raise KeyError(

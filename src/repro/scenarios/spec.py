@@ -23,15 +23,15 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Sequence, Tuple, Union
 
+# Shared with repro.api.config: one JSON-round-trip discipline.
+from repro.api.jsonable import check_jsonable as _check
+from repro.api.jsonable import freeze as _freeze
+from repro.api.jsonable import thaw as _thaw
 from repro.core.errors import ReproError
 
 #: Values a scenario axis may sweep over: numbers for the classic Δ/δ
 #: sweeps, strings for configuration grids (detection modes, topologies).
 AxisValue = Union[int, float, str]
-
-#: JSON scalar types allowed inside ``params`` (bool before int: bool is
-#: an int subclass and must be recognised first).
-_SCALARS = (bool, int, float, str, type(None))
 
 
 class ScenarioSpecError(ReproError):
@@ -40,42 +40,7 @@ class ScenarioSpecError(ReproError):
 
 def _check_jsonable(name: str, value: object) -> None:
     """Reject parameter values that would not survive a JSON round trip."""
-    if isinstance(value, _SCALARS):
-        return
-    if isinstance(value, (list, tuple)):
-        for index, item in enumerate(value):
-            _check_jsonable(f"{name}[{index}]", item)
-        return
-    if isinstance(value, Mapping):
-        for key, item in value.items():
-            if not isinstance(key, str):
-                raise ScenarioSpecError(
-                    f"param {name!r}: mapping keys must be str, got {key!r}"
-                )
-            _check_jsonable(f"{name}.{key}", item)
-        return
-    raise ScenarioSpecError(
-        f"param {name!r} has non-JSON-serializable type "
-        f"{type(value).__name__}: {value!r}"
-    )
-
-
-def _freeze(value: object) -> object:
-    """Deep-copy a params value into plain mutable-free JSON shapes."""
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(item) for item in value)
-    if isinstance(value, Mapping):
-        return {key: _freeze(item) for key, item in value.items()}
-    return value
-
-
-def _thaw(value: object) -> object:
-    """The inverse of :func:`_freeze` for serialization: tuples → lists."""
-    if isinstance(value, tuple):
-        return [_thaw(item) for item in value]
-    if isinstance(value, Mapping):
-        return {key: _thaw(item) for key, item in value.items()}
-    return value
+    _check(name, value, ScenarioSpecError)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,249 @@
+"""SimulationBuilder, run_simulation, Registry, and `repro run` CLI tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    Registry,
+    RegistryError,
+    SimulationBuilder,
+    SimulationConfig,
+    SimulationConfigError,
+    run_individual,
+    run_simulation,
+)
+from repro.api.workloads import resolve_workload, workload_source_names
+from repro.cli import main
+from repro.consistency.base import fixed_policy_factory
+from repro.core.errors import PolicyConfigurationError
+
+
+def _tiny_builder() -> SimulationBuilder:
+    return (
+        SimulationBuilder()
+        .workload("poisson", "obj", rate_per_hour=30.0, hours=6.0)
+        .policy("baseline", delta=600.0)
+        .fidelity_delta(600.0)
+        .seed(7)
+    )
+
+
+class TestBuilder:
+    def test_fluent_chain_builds_expected_config(self):
+        config = (
+            SimulationBuilder()
+            .workload("news", "cnn_fn", "nyt_ap")
+            .policy("limd", delta=600.0, ttr_max=3600.0)
+            .topology("hierarchy", edge_count=3)
+            .network(5.0, jitter_s=1.0)
+            .seed(42)
+            .horizon(7200.0)
+            .fidelity_delta(600.0)
+            .history(supports=True, want=False)
+            .log_events()
+            .build()
+        )
+        assert config.workload.objects == ("cnn_fn", "nyt_ap")
+        assert config.policy.params["ttr_max"] == 3600.0
+        assert config.topology.edge_count == 3
+        assert config.network.one_way_latency_s == 5.0
+        assert config.seed == 42
+        assert config.horizon_s == 7200.0
+        assert not config.want_history
+        assert config.log_events
+
+    def test_builder_from_existing_config_overrides(self):
+        base = _tiny_builder().build()
+        derived = SimulationBuilder(base).seed(11).build()
+        assert derived.seed == 11
+        assert derived.workload == base.workload
+
+    def test_build_output_round_trips(self):
+        config = _tiny_builder().build()
+        assert SimulationConfig.from_json(config.to_json()) == config
+
+
+class TestRunSimulation:
+    def test_matches_direct_run_individual(self):
+        config = _tiny_builder().build()
+        outcome = run_simulation(config)
+        traces = resolve_workload(config.workload, config.seed)
+        direct = run_individual(traces, fixed_policy_factory(600.0))
+        assert outcome.run.total_polls == direct.total_polls
+        (row,) = outcome.results.to_records()
+        assert row["polls"] == direct.polls_of(traces[0].object_id)
+        assert row["node"] == "proxy"
+        assert row["updates"] == traces[0].update_count
+
+    def test_deterministic_in_seed(self):
+        config = _tiny_builder().build()
+        first = run_simulation(config).results.to_json()
+        second = run_simulation(config).results.to_json()
+        assert first == second
+        other = run_simulation(config.with_seed(8)).results.to_json()
+        assert other != first
+
+    def test_hierarchy_reports_parent_and_edges(self):
+        config = _tiny_builder().topology("hierarchy", edge_count=2).build()
+        outcome = run_simulation(config)
+        nodes = outcome.results.column("node")
+        assert nodes == ["parent", "edge-0", "edge-1"]
+        assert len(outcome.edges) == 2
+
+    def test_fidelity_skipped_without_delta(self):
+        config = _tiny_builder().fidelity_delta(None).build()
+        (row,) = run_simulation(config).results.to_records()
+        assert row["fidelity_by_time"] is None
+        assert row["fidelity_by_violations"] is None
+        assert row["polls"] > 0
+
+    def test_unknown_policy_rejected(self):
+        config = _tiny_builder().policy("teleport").build()
+        with pytest.raises(PolicyConfigurationError, match="teleport"):
+            run_simulation(config)
+
+    def test_unknown_source_rejected(self):
+        config = _tiny_builder().workload("tea-leaves", "obj").build()
+        with pytest.raises(SimulationConfigError, match="tea-leaves"):
+            run_simulation(config)
+
+    def test_unknown_trace_key_rejected(self):
+        config = _tiny_builder().workload("news", "bbc").build()
+        with pytest.raises(SimulationConfigError, match="bbc"):
+            run_simulation(config)
+
+    def test_builtin_sources_registered(self):
+        assert {"news", "stocks", "poisson"} <= set(workload_source_names())
+
+    def test_default_config_is_runnable(self):
+        outcome = run_simulation(SimulationConfig())
+        assert outcome.run.total_polls > 0
+
+    def test_bad_policy_params_are_a_config_error(self):
+        config = _tiny_builder().policy("limd").build()  # delta missing
+        with pytest.raises(SimulationConfigError, match="policy 'limd'"):
+            run_simulation(config)
+        config = _tiny_builder().policy("baseline", delta=600.0, bogus=1).build()
+        with pytest.raises(SimulationConfigError, match="bogus"):
+            run_simulation(config)
+
+    def test_bad_workload_params_are_a_config_error(self):
+        config = (
+            _tiny_builder()
+            .workload("poisson", "obj", rate_per_hour=[1])
+            .build()
+        )
+        with pytest.raises(SimulationConfigError, match="poisson"):
+            run_simulation(config)
+
+    def test_network_jitter_perturbs_results_deterministically(self):
+        still = (
+            _tiny_builder().network(30.0, jitter_s=0.0).run().results.to_json()
+        )
+        jittery = _tiny_builder().network(30.0, jitter_s=20.0)
+        first = jittery.run().results.to_json()
+        assert first != still  # jitter actually reaches the link model
+        assert jittery.run().results.to_json() == first  # seeded, stable
+
+
+class TestRunCli:
+    @pytest.fixture
+    def config_path(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(_tiny_builder().build().to_json())
+        return str(path)
+
+    def test_table_output(self, config_path, capsys):
+        assert main(["run", "--config", config_path]) == 0
+        out = capsys.readouterr().out
+        assert "polls" in out
+        assert "baseline" in out
+
+    def test_json_output_is_result_set(self, config_path, capsys):
+        assert main(["run", "--config", config_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["columns"][:2] == ["node", "object"]
+        assert payload["rows"][0]["object"] == "obj"
+
+    def test_csv_output(self, config_path, capsys):
+        assert main(["run", "--config", config_path, "--csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("node,object,updates,polls")
+        assert len(lines) == 2
+
+    def test_seed_override_changes_rows(self, config_path, capsys):
+        assert main(["run", "--config", config_path, "--json"]) == 0
+        base = capsys.readouterr().out
+        assert main(["run", "--config", config_path, "--seed", "8", "--json"]) == 0
+        assert capsys.readouterr().out != base
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", "--config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read config" in capsys.readouterr().err
+
+    def test_invalid_config_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"surprise": 1}')
+        assert main(["run", "--config", str(path)]) == 2
+        assert "invalid simulation configuration" in capsys.readouterr().err
+
+    def test_bad_policy_params_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad_params.json"
+        path.write_text(
+            _tiny_builder().policy("limd", bogus=1).build().to_json()
+        )
+        assert main(["run", "--config", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid simulation configuration" in err
+        assert "bogus" in err
+
+
+class TestRegistry:
+    def test_register_get_names(self):
+        reg: Registry[int] = Registry("gadget")
+        reg.register("b", 2)
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert reg.names() == ["a", "b"]
+        assert reg.items() == [("a", 1), ("b", 2)]
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert list(reg) == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        reg: Registry[int] = Registry("gadget")
+        reg.register("a", 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("a", 2)
+
+    def test_unknown_lists_known_names(self):
+        reg: Registry[int] = Registry("gadget")
+        reg.register("alpha", 1)
+        with pytest.raises(RegistryError, match="alpha"):
+            reg.get("beta")
+
+    def test_custom_error_factory(self):
+        class Boom(Exception):
+            pass
+
+        reg: Registry[int] = Registry(
+            "gadget", error_factory=lambda name, known: Boom(name)
+        )
+        with pytest.raises(Boom):
+            reg.get("zap")
+
+    def test_lazy_loader_runs_once_before_first_read(self):
+        calls = []
+
+        def load() -> None:
+            calls.append(1)
+            reg.register("late", 9)
+
+        reg: Registry[int] = Registry("gadget", loader=load)
+        assert not calls  # construction does not load
+        assert reg.get("late") == 9
+        assert reg.names() == ["late"]
+        assert calls == [1]

@@ -1,0 +1,200 @@
+"""SimulationConfig round-trip and rejection tests (incl. hypothesis)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config import (
+    NetworkConfig,
+    PolicyConfig,
+    SimulationConfig,
+    SimulationConfigError,
+    TopologyConfig,
+    WorkloadConfig,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=16),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(_names, children, max_size=3),
+    ),
+    max_leaves=8,
+)
+_params = st.dictionaries(_names, _json_values, max_size=4)
+
+_workloads = st.builds(
+    WorkloadConfig,
+    source=_names,
+    objects=st.lists(_names, min_size=1, max_size=4).map(tuple),
+    params=_params,
+)
+_policies = st.builds(PolicyConfig, name=_names, params=_params)
+_topologies = st.builds(
+    TopologyConfig,
+    kind=st.sampled_from(("single", "hierarchy")),
+    edge_count=st.integers(min_value=1, max_value=64),
+)
+_networks = st.floats(
+    min_value=0.0, max_value=600.0, allow_nan=False, width=64
+).flatmap(
+    lambda one_way: st.builds(
+        NetworkConfig,
+        one_way_latency_s=st.just(one_way),
+        jitter_s=st.floats(
+            min_value=0.0, max_value=one_way, allow_nan=False, width=64
+        ),
+    )
+)
+_optional_durations = st.one_of(
+    st.none(),
+    st.floats(min_value=0.001, max_value=1e9, allow_nan=False, width=64),
+)
+_configs = st.builds(
+    SimulationConfig,
+    workload=_workloads,
+    policy=_policies,
+    topology=_topologies,
+    network=_networks,
+    seed=st.integers(min_value=-(10**12), max_value=10**12),
+    horizon_s=_optional_durations,
+    fidelity_delta_s=_optional_durations,
+    supports_history=st.booleans(),
+    want_history=st.booleans(),
+    log_events=st.booleans(),
+)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(config=_configs)
+    def test_parse_serialize_parse_identity(self, config):
+        parsed = SimulationConfig.from_json(config.to_json())
+        assert parsed == config
+        # And a second cycle is byte-stable (serialization normalised).
+        assert parsed.to_json() == config.to_json()
+
+    @settings(max_examples=100, deadline=None)
+    @given(config=_configs)
+    def test_to_dict_is_pure_json(self, config):
+        encoded = json.dumps(config.to_dict())
+        assert SimulationConfig.from_dict(json.loads(encoded)) == config
+
+    def test_defaults_round_trip(self):
+        config = SimulationConfig()
+        assert SimulationConfig.from_json(config.to_json()) == config
+
+    def test_list_params_survive_as_lists(self):
+        config = SimulationConfig(
+            policy=PolicyConfig(name="limd", params={"grid": [1, 2, 3]})
+        )
+        data = json.loads(config.to_json())
+        assert data["policy"]["params"]["grid"] == [1, 2, 3]
+        assert SimulationConfig.from_json(config.to_json()) == config
+
+    def test_sub_configs_accept_nested_mappings(self):
+        config = SimulationConfig.from_dict(
+            {
+                "workload": {"source": "news", "objects": ["cnn_fn"]},
+                "policy": {"name": "baseline", "params": {"delta": 600.0}},
+            }
+        )
+        assert isinstance(config.workload, WorkloadConfig)
+        assert config.policy.params["delta"] == 600.0
+
+
+# ----------------------------------------------------------------------
+# Rejection
+# ----------------------------------------------------------------------
+
+
+class TestRejection:
+    def test_unknown_top_level_field(self):
+        data = SimulationConfig().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(SimulationConfigError, match="surprise"):
+            SimulationConfig.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "section", ["workload", "policy", "topology", "network"]
+    )
+    def test_unknown_sub_config_field(self, section):
+        data = SimulationConfig().to_dict()
+        data[section]["surprise"] = 1
+        with pytest.raises(SimulationConfigError, match="surprise"):
+            SimulationConfig.from_dict(data)
+
+    def test_bad_seed_type(self):
+        with pytest.raises(SimulationConfigError, match="seed"):
+            SimulationConfig(seed="tuesday")  # type: ignore[arg-type]
+
+    def test_bool_is_not_an_int_seed(self):
+        with pytest.raises(SimulationConfigError, match="seed"):
+            SimulationConfig(seed=True)  # type: ignore[arg-type]
+
+    def test_bad_objects_shape(self):
+        with pytest.raises(SimulationConfigError, match="objects"):
+            WorkloadConfig(objects="cnn_fn")  # type: ignore[arg-type]
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(SimulationConfigError, match="non-empty"):
+            WorkloadConfig(objects=())
+
+    def test_non_jsonable_param_rejected(self):
+        with pytest.raises(SimulationConfigError, match="non-JSON"):
+            PolicyConfig(name="limd", params={"fn": object()})
+
+    def test_unknown_topology_kind(self):
+        with pytest.raises(SimulationConfigError, match="kind"):
+            TopologyConfig(kind="ring")
+
+    def test_nonpositive_edge_count(self):
+        with pytest.raises(SimulationConfigError, match="edge_count"):
+            TopologyConfig(kind="hierarchy", edge_count=0)
+
+    def test_negative_latency(self):
+        with pytest.raises(SimulationConfigError, match="one_way_latency_s"):
+            NetworkConfig(one_way_latency_s=-1.0)
+
+    def test_jitter_exceeding_latency(self):
+        with pytest.raises(SimulationConfigError, match="jitter_s"):
+            NetworkConfig(one_way_latency_s=1.0, jitter_s=2.0)
+
+    def test_nonpositive_horizon(self):
+        with pytest.raises(SimulationConfigError, match="horizon_s"):
+            SimulationConfig(horizon_s=0.0)
+
+    def test_bad_history_flag(self):
+        with pytest.raises(SimulationConfigError, match="want_history"):
+            SimulationConfig(want_history=1)  # type: ignore[arg-type]
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SimulationConfigError, match="invalid config JSON"):
+            SimulationConfig.from_json("{nope")
+
+    def test_missing_required_sub_field(self):
+        with pytest.raises(SimulationConfigError, match="mapping"):
+            SimulationConfig.from_dict({"workload": "news"})

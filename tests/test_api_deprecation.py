@@ -1,0 +1,119 @@
+"""Deprecation shims: old entry points warn *and* behave identically.
+
+The pytest configuration turns :class:`ReproDeprecationWarning` into an
+error suite-wide (``filterwarnings`` in ``pyproject.toml``), so any
+in-repo caller still on a deprecated path fails loudly.  This module is
+the one place the shims are exercised on purpose — ``pytest.warns``
+both asserts the warning and keeps it from escalating.
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import partial
+
+import pytest
+
+from repro import api
+from repro.api.deprecation import ReproDeprecationWarning
+from repro.consistency.base import fixed_policy_factory
+from repro.core.types import ObjectId
+from repro.experiments import runner
+from repro.scenarios import registry as scenario_registry
+from repro.traces.model import trace_from_times
+
+
+@pytest.fixture
+def trace():
+    return trace_from_times(
+        ObjectId("obj"),
+        [100.0 * i for i in range(1, 11)],
+        start_time=0.0,
+        end_time=1100.0,
+    )
+
+
+class TestRunnerShims:
+    def test_run_individual_warns_and_matches(self, trace):
+        with pytest.warns(
+            ReproDeprecationWarning, match="repro.api.run_individual"
+        ):
+            old = runner.run_individual([trace], fixed_policy_factory(200.0))
+        new = api.run_individual([trace], fixed_policy_factory(200.0))
+        assert old.total_polls == new.total_polls
+        assert old.polls_of(trace.object_id) == new.polls_of(trace.object_id)
+        # Same class object on both paths: isinstance keeps working.
+        assert type(old) is api.RunResult
+
+    def test_run_many_warns_and_matches(self):
+        tasks = [partial(int, "7"), partial(int, "8")]
+        with pytest.warns(ReproDeprecationWarning, match="repro.api.run_many"):
+            old = runner.run_many(tasks)
+        assert old == api.run_many(tasks) == [7, 8]
+
+    def test_build_stack_helper_warns(self, trace):
+        with pytest.warns(
+            ReproDeprecationWarning, match="repro.api.build_stack"
+        ):
+            kernel, server, proxy, event_log = runner._build_stack(
+                [trace],
+                supports_history=True,
+                want_history=True,
+            )
+        assert proxy is not None
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "run_mutual_temporal",
+            "run_mutual_value_adaptive",
+            "run_mutual_value_partitioned",
+            "run_mutual_value_group",
+        ],
+    )
+    def test_every_run_function_is_shimmed(self, name):
+        shim = getattr(runner, name)
+        assert shim is not getattr(api, name)
+        assert f"repro.api.{name}" in (shim.__doc__ or "")
+
+    def test_importing_runner_module_does_not_warn(self):
+        import importlib
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            importlib.reload(runner)
+
+
+class TestScenarioRegistryShims:
+    def test_get_scenario_warns_and_matches(self):
+        with pytest.warns(ReproDeprecationWarning, match="SCENARIOS.get"):
+            old = scenario_registry.get_scenario("figure3")
+        assert old is scenario_registry.SCENARIOS.get("figure3")
+
+    def test_scenario_names_warns_and_matches(self):
+        with pytest.warns(ReproDeprecationWarning, match="SCENARIOS.names"):
+            old = scenario_registry.scenario_names()
+        assert old == scenario_registry.SCENARIOS.names()
+
+    def test_list_scenarios_warns_and_matches(self):
+        with pytest.warns(ReproDeprecationWarning, match="SCENARIOS.values"):
+            old = scenario_registry.list_scenarios()
+        assert [e.spec.name for e in old] == scenario_registry.SCENARIOS.names()
+
+    def test_unknown_name_still_raises_through_shim(self):
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(
+                scenario_registry.UnknownScenarioError, match="no_such"
+            ):
+                scenario_registry.get_scenario("no_such")
+
+
+class TestSuiteWideEscalation:
+    def test_repro_deprecations_are_errors_outside_this_module(self):
+        """The pytest filter turns the shim warning into an error."""
+        import repro.api.deprecation as deprecation
+
+        with pytest.raises(ReproDeprecationWarning):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ReproDeprecationWarning)
+                deprecation.warn_deprecated("old", "new")

@@ -1,0 +1,104 @@
+"""ResultSet / ResultRow exporter and schema tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.results import ResultRow, ResultSchemaError, ResultSet
+
+ROWS = [
+    {"delta": 1.0, "polls": 100, "fidelity": 0.9},
+    {"delta": 2.0, "polls": 50, "fidelity": 0.95},
+]
+
+
+class TestSchema:
+    def test_declared_columns_preserved_in_order(self):
+        rs = ResultSet(("delta", "polls", "fidelity"), ROWS)
+        assert rs.columns == ("delta", "polls", "fidelity")
+
+    def test_inferred_columns_first_seen_order(self):
+        rows = [
+            {"b": 1, "a": 2},
+            {"a": 3, "c": 4},  # c introduced later -> sorts after a, b
+        ]
+        rs = ResultSet.from_records(rows)
+        assert rs.columns == ("b", "a", "c")
+
+    def test_undeclared_row_column_rejected(self):
+        with pytest.raises(ResultSchemaError, match="undeclared"):
+            ResultSet(("delta",), [{"delta": 1.0, "rogue": 2}])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ResultSchemaError, match="duplicate"):
+            ResultSet(("a", "a"))
+
+    def test_unknown_column_access_rejected(self):
+        rs = ResultSet.from_records(ROWS)
+        with pytest.raises(ResultSchemaError, match="unknown column"):
+            rs.column("nope")
+
+
+class TestExporters:
+    def test_to_records_key_order_follows_schema(self):
+        # Rows given in one order, schema declares another.
+        rs = ResultSet(("fidelity", "delta", "polls"), ROWS)
+        record = rs.to_records()[0]
+        assert list(record) == ["fidelity", "delta", "polls"]
+
+    def test_to_json_carries_columns_and_rows(self):
+        rs = ResultSet.from_records(ROWS)
+        payload = json.loads(rs.to_json())
+        assert payload["columns"] == ["delta", "polls", "fidelity"]
+        assert payload["rows"][1]["polls"] == 50
+        # Key order inside each JSON row follows the schema too.
+        assert list(payload["rows"][0]) == ["delta", "polls", "fidelity"]
+
+    def test_to_csv_header_and_rows(self):
+        rs = ResultSet.from_records(ROWS)
+        lines = rs.to_csv().splitlines()
+        assert lines[0] == "delta,polls,fidelity"
+        assert lines[1] == "1.0,100,0.9"
+        assert len(lines) == 3
+
+    def test_missing_cells_export_as_none_and_empty(self):
+        rs = ResultSet(("a", "b"), [{"a": 1}])
+        assert rs.column("b") == [None]
+        assert rs.to_csv().splitlines()[1] == "1,"
+        assert rs.to_records() == [{"a": 1}]
+
+    def test_empty_set_edge_case(self):
+        rs = ResultSet(("a", "b"))
+        assert len(rs) == 0
+        assert not rs
+        assert rs.to_records() == []
+        assert rs.to_csv() == "a,b\n"
+        assert json.loads(rs.to_json()) == {"columns": ["a", "b"], "rows": []}
+
+    def test_fully_empty_inference(self):
+        rs = ResultSet.from_records([])
+        assert rs.columns == ()
+        assert rs.to_csv() == "\n"
+        assert json.loads(rs.to_json()) == {"columns": [], "rows": []}
+
+
+class TestRowAccess:
+    def test_rows_are_ordered_mappings(self):
+        rs = ResultSet.from_records(ROWS)
+        row = rs[0]
+        assert isinstance(row, ResultRow)
+        assert row["polls"] == 100
+        assert list(row) == ["delta", "polls", "fidelity"]
+        assert len(row) == 3
+        assert row.get("nope", "x") == "x"
+
+    def test_column_extraction(self):
+        rs = ResultSet.from_records(ROWS)
+        assert rs.column("polls") == [100, 50]
+
+    def test_iteration_and_indexing(self):
+        rs = ResultSet.from_records(ROWS)
+        assert [row["delta"] for row in rs] == [1.0, 2.0]
+        assert rs[1]["delta"] == 2.0

@@ -11,11 +11,11 @@ from repro.cli import main
 
 class TestList:
     def test_lists_every_registered_scenario(self, capsys):
-        from repro.scenarios import scenario_names
+        from repro.scenarios import SCENARIOS
 
         assert main(["scenarios", "list"]) == 0
         out = capsys.readouterr().out
-        for name in scenario_names():
+        for name in SCENARIOS.names():
             assert name in out
 
     def test_mentions_run_hint(self, capsys):

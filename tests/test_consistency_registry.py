@@ -82,4 +82,4 @@ class TestRegistry:
         finally:
             from repro.consistency import registry as registry_module
 
-            registry_module._REGISTRY.pop("echo-test", None)
+            registry_module.POLICIES._items.pop("echo-test", None)

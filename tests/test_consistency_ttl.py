@@ -110,7 +110,7 @@ class TestAlexVsLimdEndToEnd:
         per poll (violation feedback beats the pure age signal)."""
         from repro.consistency.limd import limd_policy_factory
         from repro.core.types import MINUTE
-        from repro.experiments.runner import run_individual
+        from repro.api.runs import run_individual
         from repro.experiments.workloads import news_trace
         from repro.metrics.collector import collect_temporal
 

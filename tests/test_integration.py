@@ -14,7 +14,7 @@ from repro.consistency.base import fixed_policy_factory
 from repro.consistency.limd import limd_policy_factory
 from repro.consistency.mutual_temporal import MutualTemporalMode
 from repro.core.types import MINUTE, ObjectId, TTRBounds
-from repro.experiments.runner import (
+from repro.api.runs import (
     run_individual,
     run_mutual_temporal,
     run_mutual_value_adaptive,

@@ -15,7 +15,7 @@ from repro.consistency.mutual_value import (
     total_minus_parts,
 )
 from repro.core.types import ObjectId, TTRBounds
-from repro.experiments.runner import run_individual, run_mutual_value_group
+from repro.api.runs import run_individual, run_mutual_value_group
 from repro.httpsim.network import Network
 from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer

@@ -11,12 +11,10 @@ from repro.scenarios.engine import (
     run_scenario,
 )
 from repro.scenarios.registry import (
+    SCENARIOS,
     Scenario,
     UnknownScenarioError,
-    get_scenario,
-    list_scenarios,
     register_scenario,
-    scenario_names,
 )
 from repro.scenarios.spec import ScenarioSpec
 
@@ -55,7 +53,7 @@ def _labelled_point(value, *, offset, seed):
 
 class TestRegistry:
     def test_builtin_and_family_scenarios_registered(self):
-        names = scenario_names()
+        names = SCENARIOS.names()
         for expected in (
             "table2",
             "table3",
@@ -84,24 +82,24 @@ class TestRegistry:
     def test_at_least_four_new_families(self):
         family_tagged = [
             entry
-            for entry in list_scenarios()
+            for entry in SCENARIOS.values()
             if "family" in entry.spec.tags
         ]
         assert len(family_tagged) >= 4
 
     def test_unknown_name_raises(self):
         with pytest.raises(UnknownScenarioError, match="unknown scenario"):
-            get_scenario("no_such_scenario")
+            SCENARIOS.get("no_such_scenario")
 
     def test_duplicate_registration_rejected(self):
+        from repro.api.registries import RegistryError
+
         register_scenario(_toy_scenario("_toy_dup"))
         try:
-            with pytest.raises(ValueError, match="already registered"):
+            with pytest.raises(RegistryError, match="already registered"):
                 register_scenario(_toy_scenario("_toy_dup"))
         finally:
-            from repro.scenarios import registry
-
-            registry._REGISTRY.pop("_toy_dup", None)
+            SCENARIOS._items.pop("_toy_dup", None)
 
 
 class TestDriver:

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.scenarios.registry import scenario_names
+from repro.scenarios.registry import SCENARIOS
 from repro.scenarios.smoke import (
     TINY_CONFIGS,
     canonical_rows,
@@ -44,15 +44,15 @@ def _load_golden(name: str) -> dict:
 
 class TestCoverage:
     def test_every_scenario_has_a_tiny_config(self):
-        assert sorted(TINY_CONFIGS) == scenario_names()
+        assert sorted(TINY_CONFIGS) == SCENARIOS.names()
 
     def test_every_scenario_has_a_committed_golden(self):
         committed = {path.stem for path in GOLDENS_DIR.glob("*.json")}
-        assert committed == set(scenario_names()), REFRESH_HINT
+        assert committed == set(SCENARIOS.names()), REFRESH_HINT
 
     def test_no_orphan_goldens(self):
         committed = {path.stem for path in GOLDENS_DIR.glob("*.json")}
-        orphans = committed - set(scenario_names())
+        orphans = committed - set(SCENARIOS.names())
         assert not orphans, f"goldens without scenarios: {sorted(orphans)}"
 
 

@@ -57,9 +57,9 @@ class TestRoundTrip:
         )
 
     def test_every_registered_spec_round_trips(self):
-        from repro.scenarios.registry import list_scenarios
+        from repro.scenarios.registry import SCENARIOS
 
-        for entry in list_scenarios():
+        for entry in SCENARIOS.values():
             spec = entry.spec
             assert ScenarioSpec.from_json(spec.to_json()) == spec
 

@@ -20,7 +20,7 @@ import pytest
 
 from repro.core.errors import ExperimentError
 from repro.experiments import figure3, figure5
-from repro.experiments.runner import run_many
+from repro.api.runs import run_many
 from repro.experiments.sweep import (
     ParallelExecutor,
     PointTask,
