@@ -97,6 +97,7 @@ from repro.metrics import temporal_fidelity_from_snapshots
 from repro.proxy import Client, ObjectCache, ProxyCache, ProxyChain
 from repro.server import OriginServer, UpdateFeeder, feed_traces
 from repro.sim import EventLog, Kernel
+from repro.topology import TopologyNode, TopologyTree, TreeLevel, uniform_levels
 from repro.traces import (
     NewsTraceSpec,
     SportsMatchSpec,
@@ -186,6 +187,11 @@ __all__ = [
     "feed_traces",
     "EventLog",
     "Kernel",
+    # topology
+    "TopologyNode",
+    "TopologyTree",
+    "TreeLevel",
+    "uniform_levels",
     # traces
     "NewsTraceSpec",
     "SportsMatchSpec",

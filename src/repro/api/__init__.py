@@ -37,6 +37,7 @@ from repro.api.builder import (
     run_simulation,
 )
 from repro.api.config import (
+    LevelConfig,
     NetworkConfig,
     PolicyConfig,
     SimulationConfig,
@@ -49,6 +50,7 @@ from repro.api.registries import Registry, RegistryError
 from repro.api.results import ResultRow, ResultSchemaError, ResultSet
 from repro.api.runs import (
     RunResult,
+    build_core,
     build_stack,
     run_individual,
     run_many,
@@ -64,6 +66,7 @@ from repro.api.workloads import (
 )
 
 __all__ = [
+    "LevelConfig",
     "NetworkConfig",
     "PolicyConfig",
     "Registry",
@@ -80,6 +83,7 @@ __all__ = [
     "SimulationOutcome",
     "TopologyConfig",
     "WorkloadConfig",
+    "build_core",
     "build_stack",
     "register_workload_source",
     "resolve_workload",

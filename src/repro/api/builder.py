@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import (
+    LevelConfig,
     NetworkConfig,
     PolicyConfig,
     SimulationConfig,
@@ -38,12 +39,15 @@ from repro.api.config import (
 )
 from repro.api.jsonable import thaw
 from repro.api.results import ResultSet
-from repro.api.runs import RunResult, build_stack
+from repro.api.runs import RunResult, build_core
 from repro.api.workloads import resolve_workload
-from repro.consistency.base import PolicyFactory
+from repro.consistency.base import PolicyFactory, RefreshPolicy
 from repro.core.rng import derive_seed
-from repro.httpsim.network import LatencyModel, Network
+from repro.core.types import ObjectId
+from repro.httpsim.network import LatencyModel
 from repro.proxy.proxy import ProxyCache
+from repro.topology.levels import TopologyError, TreeLevel, warm_up_bound
+from repro.topology.tree import TopologyTree
 from repro.traces.model import UpdateTrace
 
 #: The declared schema every simulation outcome reports, per (node,
@@ -66,16 +70,21 @@ class SimulationOutcome:
     Attributes:
         config: The exact configuration that ran.
         run: Live simulation objects for deep inspection (the primary
-            proxy: the single proxy, or the hierarchy parent).
+            proxy: the single proxy, the hierarchy parent, or the
+            tree's first level-0 node).
         results: Per-(node, object) metric rows under the declared
             :data:`RESULT_COLUMNS` schema.
-        edges: Edge proxies (empty for the ``single`` topology).
+        edges: Edge proxies (empty for the ``single`` topology and for
+            one-level trees).
+        tree: The live :class:`~repro.topology.tree.TopologyTree` for
+            ``tree`` topologies, else ``None``.
     """
 
     config: SimulationConfig
     run: RunResult
     results: ResultSet
     edges: List[ProxyCache]
+    tree: Optional[TopologyTree] = None
 
 
 def _policy_factory(policy: PolicyConfig) -> PolicyFactory:
@@ -117,11 +126,9 @@ def _snapshot_fidelity(
     # be stale, so they are scored from the snapshots actually held.
     if delta is None:
         return None, None
-    from repro.metrics.fidelity import temporal_fidelity_from_snapshots
+    from repro.metrics.collector import collect_snapshot_fidelity
 
-    report = temporal_fidelity_from_snapshots(
-        trace, proxy.entry_for(trace.object_id).fetch_log, delta
-    )
+    report = collect_snapshot_fidelity(proxy, trace, delta).report
     return report.fidelity_by_violations, report.fidelity_by_time
 
 
@@ -150,6 +157,130 @@ def _node_rows(
     return rows
 
 
+def _latency_of(network: NetworkConfig) -> LatencyModel:
+    return LatencyModel(
+        one_way=network.one_way_latency_s, jitter=network.jitter_s
+    )
+
+
+def _resolve_horizon(
+    config: SimulationConfig,
+    traces: Sequence[UpdateTrace],
+    levels: Sequence[TreeLevel],
+) -> float:
+    """The run's end time, checked against the topology's warm-up.
+
+    Below latent links a level only registers once its upstream warmed
+    up (see ``TopologyTree.register_object``); a horizon inside that
+    warm-up would leave nodes unregistered and their result rows
+    impossible, so such configs are rejected up front.
+    """
+    horizon = (
+        config.horizon_s
+        if config.horizon_s is not None
+        else max(trace.end_time for trace in traces)
+    )
+    warm_up = warm_up_bound(levels)
+    if horizon < warm_up:
+        raise SimulationConfigError(
+            f"horizon_s ({horizon}) is shorter than the topology's "
+            f"registration warm-up bound ({warm_up}): levels below a "
+            "latent link only register after one upstream round trip "
+            "per level"
+        )
+    return horizon
+
+
+def _run_tree(
+    config: SimulationConfig,
+    traces: Sequence[UpdateTrace],
+    policy_factory: PolicyFactory,
+) -> SimulationOutcome:
+    """The ``tree`` execution path: one TopologyTree, rows per node."""
+    default_latency = _latency_of(config.network)
+    level_configs: Sequence[LevelConfig] = config.topology.levels
+    levels = tuple(
+        TreeLevel(
+            fan_out=level.fan_out,
+            mode=level.mode,
+            latency=(
+                _latency_of(level.network)
+                if level.network is not None
+                else default_latency
+            ),
+        )
+        for level in level_configs
+    )
+    level_factories = [
+        policy_factory
+        if level.policy is None
+        else _policy_factory(level.policy)
+        for level in level_configs
+    ]
+
+    def link_rng(label: str) -> random.Random:
+        # One seeded stream per link; links with zero jitter simply
+        # never consult it, so determinism is label-independent there.
+        return random.Random(derive_seed(config.seed, label))
+
+    kernel, server, event_log = build_core(
+        traces,
+        supports_history=config.supports_history,
+        log_events=config.log_events,
+    )
+    try:
+        tree = TopologyTree(
+            kernel,
+            server,
+            levels,
+            want_history=config.want_history,
+            event_log=event_log,
+            link_rng=link_rng,
+        )
+    except TopologyError as exc:
+        raise SimulationConfigError(str(exc)) from None
+
+    def level_policy(level: int, object_id: ObjectId) -> RefreshPolicy:
+        return level_factories[level](object_id)
+
+    for trace in traces:
+        tree.register_object(trace.object_id, level_policy)
+
+    kernel.run(until=_resolve_horizon(config, traces, levels))
+
+    delta = config.fidelity_delta_s
+    rows: List[Dict[str, object]] = []
+    for node in tree.nodes:
+        # Level-0 nodes track the origin itself and score at poll
+        # times; deeper nodes refresh to parent-current (possibly
+        # stale) state and are scored from the snapshots actually held.
+        rows.extend(
+            _node_rows(
+                node.name,
+                node.proxy,
+                traces,
+                delta,
+                snapshots=node.level > 0,
+            )
+        )
+    edges = (
+        [node.proxy for node in tree.edge_nodes] if tree.depth > 1 else []
+    )
+    return SimulationOutcome(
+        config=config,
+        run=RunResult(
+            kernel=kernel,
+            server=server,
+            proxy=tree.nodes_at(0)[0].proxy,
+            traces={trace.object_id: trace for trace in traces},
+            event_log=event_log,
+        ),
+        results=ResultSet(RESULT_COLUMNS, rows),
+        edges=edges,
+        tree=tree,
+    )
+
+
 def run_simulation(config: SimulationConfig) -> SimulationOutcome:
     """Execute one :class:`SimulationConfig` end to end.
 
@@ -159,10 +290,9 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
     """
     traces = resolve_workload(config.workload, config.seed)
     policy_factory = _policy_factory(config.policy)
-    latency = LatencyModel(
-        one_way=config.network.one_way_latency_s,
-        jitter=config.network.jitter_s,
-    )
+    if config.topology.kind == "tree":
+        return _run_tree(config, traces, policy_factory)
+    latency = _latency_of(config.network)
 
     def _link_rng(name: str) -> Optional[random.Random]:
         # Jitter draws need a seeded stream per link; without jitter the
@@ -172,43 +302,45 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
             return None
         return random.Random(derive_seed(config.seed, name))
 
-    kernel, server, proxy, event_log = build_stack(
+    # single and hierarchy are the two historical degenerate trees:
+    # one node, or one parent fanning out to edge_count edges.  They
+    # build through the same topology layer as arbitrary trees, with
+    # their historical node names and RNG link labels preserved.
+    hierarchy = config.topology.kind == "hierarchy"
+    levels = (TreeLevel(fan_out=1, latency=latency),) + (
+        (TreeLevel(fan_out=config.topology.edge_count, latency=latency),)
+        if hierarchy
+        else ()
+    )
+    kernel, server, event_log = build_core(
         traces,
         supports_history=config.supports_history,
-        want_history=config.want_history,
-        latency=latency,
         log_events=config.log_events,
-        network_rng=_link_rng("network"),
     )
-
-    edges: List[ProxyCache] = []
-    if config.topology.kind == "hierarchy":
-        # `proxy` becomes the parent; edges poll it at the same policy.
-        for index in range(config.topology.edge_count):
-            edge = ProxyCache(
-                kernel,
-                Network(kernel, latency, rng=_link_rng(f"network.edge-{index}")),
-                name=f"edge-{index}",
-                want_history=config.want_history,
-                event_log=event_log,
-            )
-            edges.append(edge)
+    tree = TopologyTree(
+        kernel,
+        server,
+        levels,
+        want_history=config.want_history,
+        event_log=event_log,
+        link_rng=_link_rng,
+        node_namer=lambda level, index: (
+            "proxy" if level == 0 else f"edge-{index}"
+        ),
+        link_labeler=lambda level, index: (
+            "network" if level == 0 else f"network.edge-{index}"
+        ),
+    )
+    proxy = tree.root.proxy
     for trace in traces:
-        proxy.register_object(
-            trace.object_id, server, policy_factory(trace.object_id)
+        tree.register_object(
+            trace.object_id,
+            lambda _level, object_id: policy_factory(object_id),
         )
-        for edge in edges:
-            edge.register_object(
-                trace.object_id, proxy, policy_factory(trace.object_id)
-            )
 
-    horizon = (
-        config.horizon_s
-        if config.horizon_s is not None
-        else max(trace.end_time for trace in traces)
-    )
-    kernel.run(until=horizon)
+    kernel.run(until=_resolve_horizon(config, traces, levels))
 
+    edges = [node.proxy for node in tree.edge_nodes] if hierarchy else []
     delta = config.fidelity_delta_s
     primary = "proxy" if not edges else "parent"
     rows = _node_rows(primary, proxy, traces, delta)
@@ -282,23 +414,41 @@ class SimulationBuilder:
         return self
 
     def topology(
-        self, kind: Union[str, TopologyConfig], *, edge_count: Optional[int] = None
+        self,
+        kind: Union[str, TopologyConfig],
+        *,
+        edge_count: Optional[int] = None,
+        levels: Optional[Sequence[LevelConfig]] = None,
     ) -> "SimulationBuilder":
-        """Select the proxy topology (``single`` or ``hierarchy``)."""
+        """Select the proxy topology (``single``, ``hierarchy``, ``tree``).
+
+        ``tree`` takes ``levels`` (a sequence of :class:`LevelConfig`
+        or equivalent mappings), root level first.  Omitted keywords
+        inherit the builder's current topology — ``levels`` only while
+        the kind stays ``tree``, since other kinds reject them.
+        """
         if isinstance(kind, TopologyConfig):
-            if edge_count is not None:
+            if edge_count is not None or levels is not None:
                 raise TypeError(
-                    "pass either a TopologyConfig or kind/edge_count, not both"
+                    "pass either a TopologyConfig or kind/edge_count/"
+                    "levels, not both"
                 )
             topology = kind
         else:
+            if levels is None:
+                inherited = (
+                    self._config.topology.levels if kind == "tree" else ()
+                )
+            else:
+                inherited = tuple(levels)
+            if edge_count is None:
+                # Like levels, edge_count only carries over to a kind
+                # that reads it — trees reset to the field default.
+                edge_count = (
+                    self._config.topology.edge_count if kind != "tree" else 4
+                )
             topology = TopologyConfig(
-                kind=kind,
-                edge_count=(
-                    edge_count
-                    if edge_count is not None
-                    else self._config.topology.edge_count
-                ),
+                kind=kind, edge_count=edge_count, levels=inherited
             )
         self._config = replace(self._config, topology=topology)
         return self

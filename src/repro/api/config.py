@@ -30,10 +30,15 @@ from repro.api.jsonable import check_jsonable, freeze, thaw
 from repro.core.errors import ReproError
 from repro.core.rng import DEFAULT_SEED
 
+# The canonical mode tuple lives with the topology layer; configs
+# validate against it so a transport added there is immediately legal
+# here (re-exported for config-level callers).
+from repro.topology.levels import LEVEL_MODES as LEVEL_MODES
+
 C = TypeVar("C", bound="_ConfigBase")
 
 #: Topology kinds the assembly layer understands.
-TOPOLOGY_KINDS = ("single", "hierarchy")
+TOPOLOGY_KINDS = ("single", "hierarchy", "tree")
 
 
 class SimulationConfigError(ReproError):
@@ -190,16 +195,83 @@ class PolicyConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class LevelConfig(_ConfigBase):
+    """One level of a ``tree`` topology.
+
+    Attributes:
+        fan_out: Children per node of the level above (per origin for
+            level 0).
+        mode: ``pull`` (nodes poll their upstream on the level policy's
+            TTR schedule) or ``push`` (the upstream pushes update
+            notifications; nodes fetch on each one and run no policy).
+        policy: Per-level policy override; ``None`` inherits the
+            simulation's top-level policy.  Must be ``None`` for push
+            levels.
+        network: Per-link latency override for this level; ``None``
+            inherits the simulation's top-level network.
+    """
+
+    fan_out: int = 1
+    mode: str = "pull"
+    policy: Optional[PolicyConfig] = None
+    network: Optional[NetworkConfig] = None
+
+    def __post_init__(self) -> None:
+        _require_int("level", "fan_out", self.fan_out)
+        if self.fan_out < 1:
+            raise SimulationConfigError(
+                f"level.fan_out must be >= 1, got {self.fan_out}"
+            )
+        _require_str("level", "mode", self.mode)
+        if self.mode not in LEVEL_MODES:
+            raise SimulationConfigError(
+                f"level.mode must be one of {LEVEL_MODES}, got {self.mode!r}"
+            )
+        for name, sub_type in (
+            ("policy", PolicyConfig),
+            ("network", NetworkConfig),
+        ):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, Mapping):
+                value = sub_type.from_dict(value)
+                object.__setattr__(self, name, value)
+            if not isinstance(value, sub_type):
+                raise SimulationConfigError(
+                    f"level.{name} must be a {sub_type.__name__} (or "
+                    f"mapping or null), got {type(value).__name__}"
+                )
+        if self.mode == "push" and self.policy is not None:
+            raise SimulationConfigError(
+                "level.policy must be null for push levels (push nodes "
+                "fetch on notification, they run no refresh policy)"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fan_out": self.fan_out,
+            "mode": self.mode,
+            "policy": self.policy.to_dict() if self.policy else None,
+            "network": self.network.to_dict() if self.network else None,
+        }
+
+
+@dataclass(frozen=True)
 class TopologyConfig(_ConfigBase):
     """How proxies sit between clients and the origin.
 
     ``single`` is one proxy polling the origin (the paper's setting);
     ``hierarchy`` is ``edge_count`` edge proxies polling one shared
-    parent that alone polls the origin (the topology extension).
+    parent that alone polls the origin (the topology extension);
+    ``tree`` is an arbitrary proxy tree described level by level
+    (:class:`LevelConfig`), including hybrid trees that run push at one
+    level and pull at another — see :mod:`repro.topology`.
     """
 
     kind: str = "single"
     edge_count: int = 4
+    levels: Tuple[LevelConfig, ...] = ()
 
     def __post_init__(self) -> None:
         _require_str("topology", "kind", self.kind)
@@ -213,9 +285,52 @@ class TopologyConfig(_ConfigBase):
             raise SimulationConfigError(
                 f"topology.edge_count must be >= 1, got {self.edge_count}"
             )
+        if isinstance(self.levels, (str, bytes, Mapping)) or not isinstance(
+            self.levels, Sequence
+        ):
+            raise SimulationConfigError(
+                "topology.levels must be a sequence of level configs, "
+                f"got {type(self.levels).__name__}"
+            )
+        items = []
+        for index, item in enumerate(self.levels):
+            if isinstance(item, Mapping):
+                item = LevelConfig.from_dict(item)
+            if not isinstance(item, LevelConfig):
+                raise SimulationConfigError(
+                    f"topology.levels[{index}] must be a LevelConfig (or "
+                    f"mapping), got {type(item).__name__}"
+                )
+            items.append(item)
+        object.__setattr__(self, "levels", tuple(items))
+        if self.kind == "tree" and not self.levels:
+            raise SimulationConfigError(
+                "topology.kind 'tree' needs at least one entry in "
+                "topology.levels"
+            )
+        if self.kind != "tree" and self.levels:
+            raise SimulationConfigError(
+                f"topology.levels only applies to kind 'tree', "
+                f"got kind {self.kind!r}"
+            )
+        if self.kind == "tree" and self.edge_count != 4:
+            # 4 is the field default; anything else was set on purpose
+            # and would be silently ignored by the tree execution path.
+            raise SimulationConfigError(
+                "topology.edge_count only applies to kind 'hierarchy'; "
+                "a tree's shape comes from topology.levels"
+            )
 
     def to_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "edge_count": self.edge_count}
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "edge_count": self.edge_count,
+        }
+        # Serialized single/hierarchy configs keep their historical
+        # two-field shape; only trees carry levels.
+        if self.kind == "tree":
+            data["levels"] = [level.to_dict() for level in self.levels]
+        return data
 
 
 @dataclass(frozen=True)

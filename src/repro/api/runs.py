@@ -50,12 +50,14 @@ from repro.consistency.mutual_value import (
 )
 from repro.core.types import ObjectId, Seconds, TTRBounds
 from repro.groups.registry import GroupRegistry
-from repro.httpsim.network import LatencyModel, Network
+from repro.httpsim.network import LatencyModel
 from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import EventLog
+from repro.topology.levels import TreeLevel
+from repro.topology.tree import TopologyTree
 from repro.traces.model import UpdateTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -111,6 +113,25 @@ class RunResult:
         return self.proxy.counters.get("polls")
 
 
+def build_core(
+    traces: Sequence[UpdateTrace],
+    *,
+    supports_history: bool = True,
+    log_events: bool = False,
+) -> Tuple[Kernel, OriginServer, EventLog]:
+    """Assemble the topology-independent substrate: kernel + fed origin.
+
+    Every topology — the single proxy, the one-parent hierarchy, an
+    arbitrary :class:`~repro.topology.tree.TopologyTree` — grows out of
+    this same core.
+    """
+    kernel = Kernel()
+    event_log = EventLog(enabled=log_events)
+    server = OriginServer(supports_history=supports_history, event_log=event_log)
+    feed_traces(kernel, server, traces)
+    return kernel, server, event_log
+
+
 def build_stack(
     traces: Sequence[UpdateTrace],
     *,
@@ -122,22 +143,29 @@ def build_stack(
 ) -> Tuple[Kernel, OriginServer, ProxyCache, EventLog]:
     """Assemble the standard stack: kernel, fed origin, network, proxy.
 
-    The one place the simulation components are wired together; every
-    run function (and :func:`repro.api.builder.run_simulation`) builds
-    on it.  Objects are *not* registered — callers attach policies (and
-    any coordinators) before running the kernel.  ``network_rng`` seeds
+    The one place the paper's single-proxy setting is wired together;
+    every run function builds on it.  The proxy is the root (and only
+    node) of a one-level :class:`~repro.topology.tree.TopologyTree`, so
+    the single-proxy stack and the deep trees
+    :func:`repro.api.builder.run_simulation` builds are the same layer.
+    Objects are *not* registered — callers attach policies (and any
+    coordinators) before running the kernel.  ``network_rng`` seeds
     latency jitter; without it a jittery :class:`LatencyModel` degrades
     to its fixed ``one_way`` latency.
     """
-    kernel = Kernel()
-    event_log = EventLog(enabled=log_events)
-    server = OriginServer(supports_history=supports_history, event_log=event_log)
-    feed_traces(kernel, server, traces)
-    network = Network(kernel, latency, rng=network_rng)
-    proxy = ProxyCache(
-        kernel, network, want_history=want_history, event_log=event_log
+    kernel, server, event_log = build_core(
+        traces, supports_history=supports_history, log_events=log_events
     )
-    return kernel, server, proxy, event_log
+    tree = TopologyTree(
+        kernel,
+        server,
+        (TreeLevel(fan_out=1, latency=latency),),
+        want_history=want_history,
+        event_log=event_log,
+        link_rng=lambda _label: network_rng,
+        node_namer=lambda _level, _index: "proxy",
+    )
+    return kernel, server, tree.root.proxy, event_log
 
 
 def run_individual(

@@ -49,6 +49,7 @@ from repro.consistency.invalidation import (
     PushChannel,
     PushConsistencyClient,
     PushUpdateFeeder,
+    attach_push_channel,
 )
 from repro.consistency.mutual_value import (
     AdaptiveFCoordinator,
@@ -112,6 +113,7 @@ __all__ = [
     "PushChannel",
     "PushConsistencyClient",
     "PushUpdateFeeder",
+    "attach_push_channel",
     "AlexParameters",
     "AlexTTLPolicy",
     "StaticTTLPolicy",

@@ -6,9 +6,12 @@ relevant changes to the proxy".  This module implements that deferred
 design as an extension, giving the evaluation a strong-consistency
 anchor point (Section 2, Eq. 1: the proxy is always up to date):
 
-* :class:`PushChannel` — a subscription registry on the origin side.
+* :class:`PushChannel` — a subscription registry on the origin side
+  (a :class:`~repro.topology.push.PushFanout` bound to one server).
   When an update is applied to a subscribed object, the channel delivers
-  a notification to each subscriber over the simulated network.
+  a notification to each subscriber over the simulated network.  The
+  topology layer (:mod:`repro.topology`) places the same mechanism at
+  *any* tree level, not just against the origin.
 * :class:`PushConsistencyClient` — the proxy-side half: subscribes the
   object, and on each notification refreshes the cache entry (modelled
   as an immediate conditional GET, so the proxy/cache bookkeeping and
@@ -26,7 +29,7 @@ proportional to the *poll* rate.  The extension bench
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Optional, Set
 
 from repro.consistency.base import PassivePolicy
 from repro.core.events import PollReason
@@ -35,18 +38,21 @@ from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.sim.kernel import Kernel
 from repro.sim.stats import Counter
+from repro.topology.push import PushFanout
 
-#: Called when an update notification reaches a subscriber:
-#: (object_id, update_time).
-PushCallback = Callable[[ObjectId, Seconds], None]
+# The canonical home of the push-callback signature moved to the
+# topology layer; the redundant alias keeps old imports working.
+from repro.topology.protocols import PushCallback as PushCallback
 
 
-class PushChannel:
+class PushChannel(PushFanout):
     """Origin-side subscription registry with simulated delivery delay.
 
-    Wraps an :class:`OriginServer`'s update application: construct the
-    channel, then route updates through :meth:`apply_update` (or install
-    it as the server's update tap via :func:`attach_push_channel`).
+    A :class:`~repro.topology.push.PushFanout` bound to one origin
+    server.  Either route updates through :meth:`apply_update`, or
+    install the channel as the server's update tap via
+    :func:`attach_push_channel` so updates fed the normal way
+    (:func:`repro.server.updates.feed_traces`) notify subscribers too.
     """
 
     def __init__(
@@ -56,49 +62,46 @@ class PushChannel:
         *,
         notify_latency: Seconds = 0.0,
     ) -> None:
-        if notify_latency < 0:
-            raise ValueError(
-                f"notify_latency must be >= 0, got {notify_latency}"
-            )
-        self._kernel = kernel
+        super().__init__(kernel, notify_latency=notify_latency)
         self._server = server
-        self._notify_latency = notify_latency
-        self._subscribers: Dict[ObjectId, List[PushCallback]] = {}
-        self.counters = Counter()
+        self._attached = False
 
     @property
     def server(self) -> OriginServer:
         return self._server
 
-    def subscribe(self, object_id: ObjectId, callback: PushCallback) -> None:
-        """Register a subscriber for an object's updates."""
-        self._subscribers.setdefault(object_id, []).append(callback)
-        self.counters.increment("subscriptions")
+    @property
+    def attached(self) -> bool:
+        """Whether the channel is tapping the server's update stream."""
+        return self._attached
 
-    def unsubscribe(self, object_id: ObjectId, callback: PushCallback) -> None:
-        """Remove a subscriber (no error if absent)."""
-        callbacks = self._subscribers.get(object_id)
-        if callbacks and callback in callbacks:
-            callbacks.remove(callback)
+    def attach(self) -> None:
+        """Become the server's update tap (idempotent).
 
-    def subscriber_count(self, object_id: ObjectId) -> int:
-        return len(self._subscribers.get(object_id, ()))
+        After attaching, *every* update applied at the origin — whether
+        via :meth:`apply_update`, a plain
+        :meth:`~repro.server.origin.OriginServer.apply_update`, or the
+        trace feeders — is pushed to subscribers exactly once.
+        """
+        if not self._attached:
+            self._attached = True
+            self._server.add_update_listener(self.notify)
 
     def apply_update(
         self, object_id: ObjectId, time: Seconds, value: Optional[float] = None
     ) -> None:
         """Apply an update at the origin and notify subscribers."""
         self._server.apply_update(object_id, time, value)
-        for callback in list(self._subscribers.get(object_id, ())):
-            self.counters.increment("notifications")
-            if self._notify_latency == 0:
-                callback(object_id, time)
-            else:
-                self._kernel.schedule_after(
-                    self._notify_latency,
-                    lambda _k, oid=object_id, t=time: callback(oid, t),
-                    label=f"push.{object_id}",
-                )
+        if not self._attached:
+            # An attached channel already saw the update through the
+            # server's listener hook; notifying here would double-push.
+            self.notify(object_id, time)
+
+
+def attach_push_channel(channel: PushChannel) -> PushChannel:
+    """Install a channel as its server's update tap (see ``attach``)."""
+    channel.attach()
+    return channel
 
 
 class PushConsistencyClient:

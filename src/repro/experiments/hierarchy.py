@@ -19,7 +19,7 @@ from repro.experiments.render import render_dict_rows
 from repro.experiments.workloads import DEFAULT_SEED
 from repro.scenarios.engine import run_scenario
 from repro.httpsim.network import Network
-from repro.metrics.fidelity import temporal_fidelity_from_snapshots
+from repro.metrics.collector import collect_snapshot_fidelity
 from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
@@ -42,10 +42,7 @@ def _edge_fidelity(trace: UpdateTrace, proxy: ProxyCache, delta: Seconds) -> flo
     poll refreshes to *parent*-current state, which can itself be
     stale, so poll-time fidelity would overestimate freshness.
     """
-    fetch_log = proxy.entry_for(trace.object_id).fetch_log
-    return temporal_fidelity_from_snapshots(
-        trace, fetch_log, delta
-    ).fidelity_by_time
+    return collect_snapshot_fidelity(proxy, trace, delta).report.fidelity_by_time
 
 
 def _run_flat(trace: UpdateTrace, edge_count: int):

@@ -6,6 +6,7 @@ from repro.metrics.collector import (
     collect_mutual_synchrony,
     collect_mutual_temporal,
     collect_mutual_value,
+    collect_snapshot_fidelity,
     collect_temporal,
     collect_value,
     poll_times_of,
@@ -55,6 +56,7 @@ __all__ = [
     "collect_mutual_synchrony",
     "collect_mutual_temporal",
     "collect_mutual_value",
+    "collect_snapshot_fidelity",
     "collect_temporal",
     "collect_value",
     "poll_times_of",

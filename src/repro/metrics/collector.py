@@ -15,6 +15,7 @@ from repro.core.types import ObjectId, Seconds
 from repro.metrics.fidelity import (
     FidelityReport,
     temporal_fidelity,
+    temporal_fidelity_from_snapshots,
     value_fidelity,
 )
 from repro.metrics.mutual import (
@@ -106,6 +107,22 @@ def collect_temporal(
     """Δt-consistency report for one object after a run."""
     polls = poll_times_of(proxy, trace.object_id)
     report = temporal_fidelity(trace, polls, delta, start=start, end=end)
+    return ObjectReport(object_id=trace.object_id, report=report)
+
+
+def collect_snapshot_fidelity(
+    proxy: ProxyCache, trace: UpdateTrace, delta: Seconds
+) -> ObjectReport:
+    """Δt-consistency report scored from the snapshots actually held.
+
+    Essential for nodes below another cache (hierarchy edges, deep
+    topology-tree levels): their polls refresh to *upstream*-current
+    state, which can itself be stale, so poll-time scoring
+    (:func:`collect_temporal`) would overestimate freshness.
+    """
+    report = temporal_fidelity_from_snapshots(
+        trace, proxy.entry_for(trace.object_id).fetch_log, delta
+    )
     return ObjectReport(object_id=trace.object_id, report=report)
 
 

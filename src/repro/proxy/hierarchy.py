@@ -1,53 +1,74 @@
-"""Hierarchical proxy caching: chains of proxies between client and origin.
+"""Deprecated linear proxy chains — use :mod:`repro.topology` instead.
 
-The paper's related work (Yin et al. [10], Yu et al. [11]) studies cache
-consistency in proxy *hierarchies*; this module composes the
-reproduction's building blocks into such a hierarchy.  Because
-:class:`~repro.proxy.proxy.ProxyCache` answers conditional GETs
-(:meth:`~repro.proxy.proxy.ProxyCache.handle_request`), a child proxy
-can poll its parent exactly as it would poll an origin — each level runs
-its own consistency policy against the level above.
+This module's :class:`ProxyChain` (a hardcoded linear hierarchy) has
+been generalised into :class:`repro.topology.tree.TopologyTree`, which
+builds arbitrary trees (any depth, per-level fan-out, per-level pull or
+push consistency).  ``ProxyChain`` survives as a thin deprecation shim
+over a fan-out-1 tree: construction emits
+:class:`~repro.api.deprecation.ReproDeprecationWarning` and every
+behaviour — node naming, registration order, poll accounting — is the
+tree's, so chain results stay byte-identical to the old implementation
+for every configuration the old one could run.  The exception is
+*latent* links (nonzero ``latency``): the old chain registered every
+level inline and then crashed mid-run when a child's initial fetch
+raced its parent's; the tree instead defers each level's registration
+past its upstream's warm-up, so such chains now work — but levels
+below a latent link hold no cache entry until the kernel has run
+through their warm-up.
 
 **Staleness composes additively.**  If level i guarantees its copy is at
 most Δᵢ behind its upstream, a chain of n levels guarantees the edge
-copy is at most ``Σ Δᵢ`` behind the origin.  The benefit is load
-concentration: the origin sees only the root proxy's polls, however many
-children (and clients) hang off the tree — the trade-off quantified by
+copy is at most ``Σ Δᵢ`` behind the origin
+(:func:`repro.topology.levels.additive_staleness_bound`).  The benefit
+is load concentration: the origin sees only the root proxy's polls,
+however many children hang off the tree — the trade-off quantified by
 ``benchmarks/bench_extension_hierarchy.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.consistency.base import RefreshPolicy
 from repro.core.types import ObjectId
-from repro.httpsim.network import LatencyModel, Network
+from repro.httpsim.network import LatencyModel
 from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.sim.kernel import Kernel
 
-#: Builds the refresh policy for one (level, object) pair.  Level 0 is
-#: the root (polls the origin); higher levels poll the level below.
-LevelPolicyFactory = Callable[[int, ObjectId], RefreshPolicy]
+# The canonical home of the per-level policy-factory signature moved to
+# the topology layer; this re-export keeps old imports working.  The
+# submodule import is cycle-safe (levels never imports the proxy
+# package); importing repro.topology.tree here would cycle through
+# repro.proxy.__init__, so the shim resolves the tree class lazily.
+from repro.topology.levels import LevelPolicyFactory
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.topology.tree import TopologyTree
 
 
 class ProxyChain:
-    """A linear hierarchy of proxies: root polls origin, children chain.
+    """Deprecated: a linear proxy hierarchy, now a fan-out-1 tree.
+
+    Use :class:`repro.topology.tree.TopologyTree` (with
+    :func:`repro.topology.levels.uniform_levels`) for new code — it
+    expresses the same chain and every wider shape.
 
     Args:
         kernel: Shared simulation kernel.
         origin: The origin server at the top of the chain.
         depth: Number of proxy levels (>= 1).
-        latency: Per-link latency model (the same model is used on every
-            link; the paper fixes latency and so do we).
+        latency: Per-link latency model (the same model on every link).
 
     Example:
+        >>> import warnings
         >>> from repro.consistency.base import FixedTTRPolicy
         >>> kernel = Kernel()
         >>> origin = OriginServer()
         >>> _ = origin.create_object(ObjectId("x"), created_at=0.0)
-        >>> chain = ProxyChain(kernel, origin, depth=2)
+        >>> with warnings.catch_warnings():
+        ...     warnings.simplefilter("ignore", DeprecationWarning)
+        ...     chain = ProxyChain(kernel, origin, depth=2)
         >>> _ = chain.register_object(
         ...     ObjectId("x"), lambda level, oid: FixedTTRPolicy(ttr=60.0)
         ... )
@@ -64,45 +85,63 @@ class ProxyChain:
         latency: LatencyModel = LatencyModel(),
         want_history: bool = True,
     ) -> None:
+        # Imported lazily: repro.proxy.__init__ imports this module, so
+        # a top-level import of the tree (which imports repro.proxy)
+        # would cycle.
+        from repro.api.deprecation import warn_deprecated
+        from repro.topology.levels import TopologyError, uniform_levels
+        from repro.topology.tree import TopologyTree
+
+        warn_deprecated(
+            "repro.proxy.hierarchy.ProxyChain",
+            "repro.topology.TopologyTree",
+        )
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
-        self._kernel = kernel
-        self._origin = origin
-        self._proxies: List[ProxyCache] = [
-            ProxyCache(
+        try:
+            self._tree: "TopologyTree" = TopologyTree(
                 kernel,
-                Network(kernel, latency),
+                origin,
+                uniform_levels(depth, latency=latency),
                 want_history=want_history,
-                name=f"proxy-L{level}",
+                node_namer=lambda level, _index: f"proxy-L{level}",
             )
-            for level in range(depth)
-        ]
+        except TopologyError as exc:  # pragma: no cover - defensive
+            raise ValueError(str(exc)) from None
+        self._origin = origin
+
+    @property
+    def tree(self) -> "TopologyTree":
+        """The underlying topology tree (the non-deprecated surface)."""
+        return self._tree
 
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:
-        return len(self._proxies)
+        return self._tree.depth
 
     @property
     def proxies(self) -> Sequence[ProxyCache]:
         """All levels, root (index 0) to edge (index depth-1)."""
-        return tuple(self._proxies)
+        return tuple(node.proxy for node in self._tree.nodes)
 
     @property
     def root(self) -> ProxyCache:
         """The proxy that polls the origin directly."""
-        return self._proxies[0]
+        return self._tree.root.proxy
 
     @property
     def edge(self) -> ProxyCache:
         """The proxy clients talk to (deepest level)."""
-        return self._proxies[-1]
+        return self._tree.edge_nodes[0].proxy
 
-    def upstream_of(self, level: int):
+    def upstream_of(self, level: int) -> Union[OriginServer, ProxyCache]:
         """The request target level ``level`` polls."""
-        return self._origin if level == 0 else self._proxies[level - 1]
+        if level == 0:
+            return self._origin
+        return self._tree.nodes_at(level)[0].parent.proxy  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------
     # Registration
@@ -121,27 +160,21 @@ class ProxyChain:
         Returns:
             The policy instance installed at each level.
         """
-        policies: Dict[int, RefreshPolicy] = {}
-        for level, proxy in enumerate(self._proxies):
-            policy = policy_factory(level, object_id)
-            proxy.register_object(object_id, self.upstream_of(level), policy)
-            policies[level] = policy
-        return policies
+        by_name = self._tree.register_object(object_id, policy_factory)
+        return {
+            node.level: by_name[node.name] for node in self._tree.nodes
+        }
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def polls_per_level(self, object_id: Optional[ObjectId] = None) -> List[int]:
         """Poll counts by level (for one object, or each level's total)."""
-        if object_id is None:
-            return [proxy.counters.get("polls") for proxy in self._proxies]
-        return [
-            proxy.entry_for(object_id).poll_count for proxy in self._proxies
-        ]
+        return self._tree.polls_per_level(object_id)
 
     def origin_request_count(self) -> int:
         """Requests the origin actually received (the root's polls)."""
-        return self._origin.counters.get("requests")
+        return self._tree.origin_request_count()
 
     def __repr__(self) -> str:
         return f"ProxyChain(depth={self.depth}, origin={self._origin.name!r})"

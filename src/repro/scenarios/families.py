@@ -1,7 +1,7 @@
 """New scenario families beyond the paper's evaluation.
 
-Four workload families exercise the scenario engine on regimes the
-paper never measured:
+Six families exercise the scenario engine on regimes the paper never
+measured:
 
 * **flash_crowd** — a mass-conserving surge window concentrates updates
   into a burst; sweeps surge intensity.
@@ -11,6 +11,13 @@ paper never measured:
   up/down schedule; sweeps the mean uptime (more churn to the left).
 * **hetero_mix** — one cache holds a news page, a stock quote, and a
   synthetic Poisson object simultaneously; sweeps the shared Δ.
+* **cdn_tree** — a CDN-style edge tree (one shield proxy fanning out to
+  k² edges) absorbs a flash crowd; sweeps the fan-out and reports
+  origin shielding vs edge staleness (topology layer,
+  :mod:`repro.topology`).
+* **hybrid_push_pull** — a push root with polling edges against the
+  same tree running pure pull; sweeps the edge Δ across the
+  message-cost crossover quantified by ``bench_extension_push``.
 
 Every point derives its RNG seed from the run seed and its axis value
 (:func:`repro.core.rng.derive_seed`), so serial and ``workers > 1``
@@ -30,12 +37,13 @@ from repro.experiments.figure3 import PAPER_LIMD_PARAMETERS, TTR_MAX, evaluate_d
 from repro.api.runs import run_individual
 from repro.experiments.workloads import news_trace, stock_trace
 from repro.httpsim.network import Network
-from repro.metrics.collector import collect_temporal
+from repro.metrics.collector import collect_snapshot_fidelity, collect_temporal
 from repro.proxy.proxy import ProxyCache
 from repro.scenarios.registry import prepare_params_seed, scenario
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
+from repro.topology import TopologyTree, TreeLevel
 from repro.traces.synthetic import poisson_trace
 from repro.workload.failures import FailureInjector, generate_failure_schedule
 from repro.workload.modulation import DiurnalModulation, diurnal_trace
@@ -292,3 +300,186 @@ def _hetero_mix_point(
         row[f"{label}_fidelity_violations"] = report.fidelity_by_violations
         row[f"{label}_fidelity_time"] = report.fidelity_by_time
     return row
+
+
+def _limd_level_factory(delta: float):
+    """A per-(level, object) LIMD factory at one shared Δ."""
+    factory = limd_policy_factory(
+        delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
+    )
+    return lambda _level, object_id: factory(object_id)
+
+
+def _mean_edge_snapshot_fidelity(
+    tree: TopologyTree, trace, delta: float
+) -> float:
+    """Mean time-fidelity over the edges, from snapshots actually held.
+
+    Edge polls refresh to *parent*-current (possibly stale) state, so
+    poll-time scoring would overestimate freshness — the same
+    snapshot-based rule the hierarchy extension uses.
+    """
+    scores = [
+        collect_snapshot_fidelity(
+            node.proxy, trace, delta
+        ).report.fidelity_by_time
+        for node in tree.edge_nodes
+    ]
+    return sum(scores) / len(scores)
+
+
+# ----------------------------------------------------------------------
+# CDN-style edge trees under flash-crowd load
+# ----------------------------------------------------------------------
+
+
+@scenario(
+    name="cdn_tree",
+    description="CDN edge tree under a flash crowd: origin shielding vs edge staleness",
+    axis="fan_out",
+    values=(2, 4, 8),
+    params={
+        "depth": 3,
+        "total_updates": 300,
+        "hours": 12.0,
+        "surge_start_hour": 6.0,
+        "surge_duration_min": 30.0,
+        "surge_intensity": 20.0,
+        "delta_min": 10.0,
+    },
+    columns=(
+        "fan_out",
+        "nodes",
+        "edge_nodes",
+        "origin_requests",
+        "total_polls",
+        "polls_per_edge",
+        "edge_fidelity_time",
+    ),
+    title="CDN tree: one shield level fanning out to fan_out^(depth-1) edges",
+    tags=("family", "topology"),
+    prepare=prepare_params_seed,
+)
+def _cdn_tree_point(
+    fan_out: int, *, params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    rng = random.Random(derive_seed(seed, f"cdn_tree[{int(fan_out)}]"))
+    end = float(params["hours"]) * HOUR  # type: ignore[arg-type]
+    surge = SurgeWindow(
+        at=float(params["surge_start_hour"]) * HOUR,  # type: ignore[arg-type]
+        duration=float(params["surge_duration_min"]) * MINUTE,  # type: ignore[arg-type]
+        intensity=float(params["surge_intensity"]),  # type: ignore[arg-type]
+    )
+    trace = flash_crowd_trace(
+        "cdn_tree",
+        rng,
+        total=int(params["total_updates"]),  # type: ignore[arg-type]
+        end=end,
+        surges=(surge,),
+    )
+    depth = int(params["depth"])  # type: ignore[arg-type]
+    delta = float(params["delta_min"]) * MINUTE  # type: ignore[arg-type]
+
+    kernel = Kernel()
+    origin = OriginServer()
+    feed_traces(kernel, origin, [trace])
+    # One shield node polls the origin; every deeper level fans out.
+    tree = TopologyTree(
+        kernel,
+        origin,
+        [TreeLevel(fan_out=1)]
+        + [TreeLevel(fan_out=int(fan_out)) for _ in range(depth - 1)],
+    )
+    tree.register_object(trace.object_id, _limd_level_factory(delta))
+    kernel.run(until=trace.end_time)
+
+    edge_count = len(tree.edge_nodes)
+    per_level = tree.polls_per_level()
+    return {
+        "nodes": tree.node_count,
+        "edge_nodes": edge_count,
+        "origin_requests": tree.origin_request_count(),
+        "total_polls": sum(per_level),
+        "polls_per_edge": per_level[-1] / edge_count,
+        # The additive bound gives the edges depth*delta of slack.
+        "edge_fidelity_time": _mean_edge_snapshot_fidelity(
+            tree, trace, depth * delta
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Hybrid push/pull trees: the message-cost crossover
+# ----------------------------------------------------------------------
+
+
+def _prepare_hybrid_push_pull(
+    params: Mapping[str, object], seed: int
+) -> Dict[str, object]:
+    return {
+        "trace": news_trace(str(params["trace"]), seed),
+        "edge_count": int(params["edge_count"]),  # type: ignore[arg-type]
+    }
+
+
+@scenario(
+    name="hybrid_push_pull",
+    description="Push root / polling edges vs pure pull: the message-cost crossover",
+    axis="delta_min",
+    values=(1.0, 5.0, 10.0, 30.0),
+    params={"trace": "cnn_fn", "edge_count": 4},
+    columns=(
+        "delta_min",
+        "hybrid_messages",
+        "pull_messages",
+        "message_ratio",
+        "hybrid_origin_requests",
+        "pull_origin_requests",
+        "hybrid_edge_fidelity",
+        "pull_edge_fidelity",
+    ),
+    title="Hybrid push/pull tree vs pure pull across the edge-delta sweep",
+    tags=("family", "topology", "push"),
+    prepare=_prepare_hybrid_push_pull,
+)
+def _hybrid_push_pull_point(
+    delta_min: float, *, trace, edge_count: int
+) -> Dict[str, object]:
+    delta = float(delta_min) * MINUTE
+
+    def run_tree(root_mode: str) -> Dict[str, object]:
+        kernel = Kernel()
+        origin = OriginServer()
+        feed_traces(kernel, origin, [trace])
+        tree = TopologyTree(
+            kernel,
+            origin,
+            [
+                TreeLevel(fan_out=1, mode=root_mode),
+                TreeLevel(fan_out=edge_count),
+            ],
+        )
+        tree.register_object(trace.object_id, _limd_level_factory(delta))
+        kernel.run(until=trace.end_time)
+        return {
+            # Every message on the wire: conditional GETs at both
+            # levels, plus (for the push root) one notification per
+            # update pushed down by the origin.
+            "messages": tree.total_polls() + tree.push_notifications(),
+            "origin_requests": tree.origin_request_count(),
+            "edge_fidelity": _mean_edge_snapshot_fidelity(
+                tree, trace, 2 * delta
+            ),
+        }
+
+    hybrid = run_tree("push")
+    pull = run_tree("pull")
+    return {
+        "hybrid_messages": hybrid["messages"],
+        "pull_messages": pull["messages"],
+        "message_ratio": hybrid["messages"] / pull["messages"],
+        "hybrid_origin_requests": hybrid["origin_requests"],
+        "pull_origin_requests": pull["origin_requests"],
+        "hybrid_edge_fidelity": hybrid["edge_fidelity"],
+        "pull_edge_fidelity": pull["edge_fidelity"],
+    }

@@ -63,6 +63,16 @@ TINY_CONFIGS: Dict[str, TinyConfig] = {
     "diurnal": TinyConfig(values=(0.0, 1.0), params={"days": 1.0}),
     "failure_churn": TinyConfig(values=(60.0, 480.0)),
     "hetero_mix": TinyConfig(values=(2.0, 30.0), params={"hours": 12.0}),
+    "cdn_tree": TinyConfig(
+        values=(2, 4),
+        params={
+            "depth": 2,
+            "total_updates": 150,
+            "hours": 6.0,
+            "surge_start_hour": 3.0,
+        },
+    ),
+    "hybrid_push_pull": TinyConfig(values=(1.0, 30.0), params={"edge_count": 2}),
 }
 
 

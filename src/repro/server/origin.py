@@ -7,7 +7,7 @@ Section 5.1 modification-history extension.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.errors import UnknownObjectError
 from repro.core.events import UpdateAppliedEvent
@@ -21,6 +21,9 @@ from repro.sim.tracing import EventLog
 #: Per-status response counter names, precomputed so the per-request
 #: hot path does no f-string formatting.
 _RESPONSE_COUNTER_NAMES = {status: f"responses_{int(status)}" for status in Status}
+
+#: Called after an update is applied: ``(object_id, update_time)``.
+UpdateListener = Callable[[ObjectId, Seconds], None]
 
 
 class OriginServer:
@@ -49,6 +52,11 @@ class OriginServer:
         self._event_log = (
             event_log if (event_log is not None and event_log.enabled) else None
         )
+        # Update listeners back push-based consistency (an attached
+        # push source fans each applied update out to its subscribers);
+        # the common pull-only stack leaves the list empty, keeping the
+        # per-update hot path to one truthiness check.
+        self._update_listeners: List[UpdateListener] = []
         self.counters = Counter()
 
     # ------------------------------------------------------------------
@@ -83,6 +91,15 @@ class OriginServer:
     def object_ids(self) -> Iterator[ObjectId]:
         return iter(self._objects)
 
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Observe every applied update (push-consistency sources)."""
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(self, listener: UpdateListener) -> None:
+        """Detach a listener (no error if absent)."""
+        if listener in self._update_listeners:
+            self._update_listeners.remove(listener)
+
     def apply_update(
         self, object_id: ObjectId, time: Seconds, value: Optional[float] = None
     ) -> None:
@@ -99,6 +116,9 @@ class OriginServer:
                     value=record.value,
                 )
             )
+        if self._update_listeners:
+            for listener in tuple(self._update_listeners):
+                listener(object_id, time)
 
     # ------------------------------------------------------------------
     # HTTP handling

@@ -1,0 +1,65 @@
+"""First-class cache topology: arbitrary proxy trees, pull or push per level.
+
+The paper evaluates one proxy polling one origin; its related work
+(Yin et al. [10], Yu et al. [11]) poses the open question of consistency
+in proxy *hierarchies*, where staleness composes additively (Σ Δᵢ) but
+origin load concentrates at the root.  This package makes that topology
+a first-class, declarative object:
+
+* :mod:`repro.topology.protocols` — the :class:`Upstream` protocol every
+  node above another node satisfies (origin servers, proxies), plus the
+  :class:`PushSource` protocol for nodes that push update notifications
+  downstream;
+* :mod:`repro.topology.levels` — :class:`TreeLevel`, the per-level
+  structural spec (fan-out, pull/push mode, link latency) and the
+  Σ Δᵢ staleness-bound helper;
+* :mod:`repro.topology.push` — :class:`PushFanout`, the subscription
+  registry with simulated delivery delay, and its two bindings:
+  :class:`OriginPushSource` (origin pushes every applied update) and
+  :class:`ProxyPushSource` (a proxy pushes every *observed* update);
+* :mod:`repro.topology.tree` — :class:`TopologyTree`, the assembled
+  tree of :class:`TopologyNode` proxies, built from a level spec and
+  registered object by object, root-first.
+
+The layers above construct through this package:
+:func:`repro.api.runs.build_stack` builds its single proxy as a
+one-node tree, :func:`repro.api.builder.run_simulation` maps every
+``TopologyConfig`` kind (``single`` / ``hierarchy`` / ``tree``) onto a
+:class:`TopologyTree`, and :class:`repro.proxy.hierarchy.ProxyChain`
+survives as a deprecation shim over a fan-out-1 tree.
+"""
+
+from repro.topology.protocols import PushCallback, PushSource, Upstream
+from repro.topology.levels import (
+    LEVEL_MODES,
+    PULL,
+    PUSH,
+    LevelPolicyFactory,
+    TopologyError,
+    TreeLevel,
+    additive_staleness_bound,
+    uniform_levels,
+    warm_up_bound,
+)
+from repro.topology.push import OriginPushSource, ProxyPushSource, PushFanout
+from repro.topology.tree import TopologyNode, TopologyTree
+
+__all__ = [
+    "LEVEL_MODES",
+    "PULL",
+    "PUSH",
+    "LevelPolicyFactory",
+    "OriginPushSource",
+    "ProxyPushSource",
+    "PushCallback",
+    "PushFanout",
+    "PushSource",
+    "TopologyError",
+    "TopologyNode",
+    "TopologyTree",
+    "TreeLevel",
+    "Upstream",
+    "additive_staleness_bound",
+    "uniform_levels",
+    "warm_up_bound",
+]

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.api import (
+    LevelConfig,
     Registry,
     RegistryError,
     SimulationBuilder,
@@ -64,6 +65,47 @@ class TestBuilder:
     def test_build_output_round_trips(self):
         config = _tiny_builder().build()
         assert SimulationConfig.from_json(config.to_json()) == config
+
+    def test_topology_levels_inherited_while_kind_stays_tree(self):
+        # Omitted keywords inherit, exactly as edge_count does.
+        levels = [LevelConfig(fan_out=1), LevelConfig(fan_out=2)]
+        builder = _tiny_builder().topology("tree", levels=levels)
+        config = builder.topology("tree").build()
+        assert config.topology.levels == tuple(levels)
+
+    def test_tree_horizon_shorter_than_warm_up_rejected(self):
+        # Latent links defer deep-level registration; a horizon inside
+        # that warm-up can never produce rows for the deep nodes.
+        builder = (
+            _tiny_builder()
+            .topology(
+                "tree",
+                levels=[LevelConfig(fan_out=1), LevelConfig(fan_out=2)],
+            )
+            .network(0.05)
+            .horizon(0.05)
+        )
+        with pytest.raises(SimulationConfigError, match="warm-up"):
+            builder.run()
+
+    def test_hierarchy_horizon_shorter_than_warm_up_rejected(self):
+        # The single/hierarchy path shares the tree's deferred
+        # registration, so it shares the guard too.
+        builder = (
+            _tiny_builder()
+            .topology("hierarchy", edge_count=2)
+            .network(60.0)
+            .horizon(100.0)
+        )
+        with pytest.raises(SimulationConfigError, match="warm-up"):
+            builder.run()
+
+    def test_topology_levels_reset_when_kind_changes(self):
+        levels = [LevelConfig(fan_out=1)]
+        builder = _tiny_builder().topology("tree", levels=levels)
+        config = builder.topology("single").build()
+        assert config.topology.kind == "single"
+        assert config.topology.levels == ()
 
 
 class TestRunSimulation:
@@ -147,6 +189,149 @@ class TestRunSimulation:
         first = jittery.run().results.to_json()
         assert first != still  # jitter actually reaches the link model
         assert jittery.run().results.to_json() == first  # seeded, stable
+
+
+class TestRunSimulationTree:
+    def test_tree_reports_one_row_per_node(self):
+        config = (
+            _tiny_builder()
+            .topology(
+                "tree",
+                levels=[
+                    {"fan_out": 1},
+                    {"fan_out": 2},
+                    {"fan_out": 2},
+                ],
+            )
+            .build()
+        )
+        outcome = run_simulation(config)
+        nodes = outcome.results.column("node")
+        assert nodes == [
+            "L0.N0",
+            "L1.N0",
+            "L1.N1",
+            "L2.N0",
+            "L2.N1",
+            "L2.N2",
+            "L2.N3",
+        ]
+        assert outcome.tree is not None
+        assert outcome.tree.node_count == 7
+        assert len(outcome.edges) == 4
+        assert outcome.run.proxy is outcome.tree.root.proxy
+
+    def test_hybrid_push_root_runs_passively(self):
+        config = (
+            _tiny_builder()
+            .topology(
+                "tree",
+                levels=[{"fan_out": 1, "mode": "push"}, {"fan_out": 2}],
+            )
+            .build()
+        )
+        outcome = run_simulation(config)
+        rows = outcome.results.to_records()
+        root_row = rows[0]
+        # The push root fetches once per update plus the initial fetch.
+        assert root_row["polls"] == root_row["updates"] + 1
+        assert root_row["fidelity_by_time"] == 1.0
+        assert outcome.tree is not None
+        assert outcome.tree.push_notifications() == root_row["updates"]
+
+    def test_per_level_policy_override(self):
+        config = (
+            _tiny_builder()
+            .topology(
+                "tree",
+                levels=[
+                    {"fan_out": 1},
+                    {
+                        "fan_out": 1,
+                        "policy": {
+                            "name": "baseline",
+                            "params": {"delta": 60.0},
+                        },
+                    },
+                ],
+            )
+            .build()
+        )
+        outcome = run_simulation(config)
+        rows = outcome.results.to_records()
+        # The edge polls its parent 10x more often than the parent
+        # polls the origin (delta 60 s vs the top-level 600 s).
+        assert rows[1]["polls"] > 5 * rows[0]["polls"]
+
+    def test_tree_deterministic_in_seed(self):
+        config = (
+            _tiny_builder()
+            .topology("tree", levels=[{"fan_out": 1}, {"fan_out": 3}])
+            .build()
+        )
+        first = run_simulation(config).results.to_json()
+        assert run_simulation(config).results.to_json() == first
+        assert run_simulation(config.with_seed(9)).results.to_json() != first
+
+    def test_depth_n_tree_chain_reproduces_proxy_chain_rows(self):
+        """A fan-out-1 tree config matches the deprecated ProxyChain."""
+        from repro.api.deprecation import ReproDeprecationWarning
+        from repro.consistency.base import FixedTTRPolicy
+        from repro.proxy.hierarchy import ProxyChain
+        from repro.server.updates import feed_traces
+        from repro.server.origin import OriginServer
+        from repro.sim.kernel import Kernel
+
+        depth = 3
+        config = (
+            _tiny_builder()
+            .topology("tree", levels=[{"fan_out": 1}] * depth)
+            .build()
+        )
+        outcome = run_simulation(config)
+        (trace,) = resolve_workload(config.workload, config.seed)
+
+        kernel = Kernel()
+        origin = OriginServer()
+        feed_traces(kernel, origin, [trace])
+        with pytest.warns(ReproDeprecationWarning):
+            chain = ProxyChain(kernel, origin, depth=depth)
+        chain.register_object(
+            trace.object_id, lambda _level, _oid: FixedTTRPolicy(ttr=600.0)
+        )
+        kernel.run(until=trace.end_time)
+
+        tree_polls = [row["polls"] for row in outcome.results.to_records()]
+        chain_polls = chain.polls_per_level(trace.object_id)
+        assert tree_polls == chain_polls
+        assert (
+            outcome.tree.origin_request_count()
+            == chain.origin_request_count()
+        )
+        tree_log = [
+            (record.time, record.snapshot.version, record.modified)
+            for node in outcome.tree.nodes
+            for record in node.proxy.entry_for(trace.object_id).fetch_log
+        ]
+        chain_log = [
+            (record.time, record.snapshot.version, record.modified)
+            for proxy in chain.proxies
+            for record in proxy.entry_for(trace.object_id).fetch_log
+        ]
+        assert tree_log == chain_log
+
+    def test_push_level_with_policy_rejected_at_config_time(self):
+        with pytest.raises(SimulationConfigError, match="push"):
+            _tiny_builder().topology(
+                "tree",
+                levels=[
+                    {
+                        "fan_out": 1,
+                        "mode": "push",
+                        "policy": {"name": "baseline", "params": {}},
+                    }
+                ],
+            )
 
 
 class TestRunCli:

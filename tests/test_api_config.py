@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api.config import (
+    LevelConfig,
     NetworkConfig,
     PolicyConfig,
     SimulationConfig,
@@ -48,11 +49,6 @@ _workloads = st.builds(
     params=_params,
 )
 _policies = st.builds(PolicyConfig, name=_names, params=_params)
-_topologies = st.builds(
-    TopologyConfig,
-    kind=st.sampled_from(("single", "hierarchy")),
-    edge_count=st.integers(min_value=1, max_value=64),
-)
 _networks = st.floats(
     min_value=0.0, max_value=600.0, allow_nan=False, width=64
 ).flatmap(
@@ -63,6 +59,35 @@ _networks = st.floats(
             min_value=0.0, max_value=one_way, allow_nan=False, width=64
         ),
     )
+)
+_pull_levels = st.builds(
+    LevelConfig,
+    fan_out=st.integers(min_value=1, max_value=8),
+    mode=st.just("pull"),
+    policy=st.one_of(st.none(), _policies),
+    network=st.one_of(st.none(), _networks),
+)
+_push_levels = st.builds(
+    LevelConfig,
+    fan_out=st.integers(min_value=1, max_value=8),
+    mode=st.just("push"),
+    policy=st.none(),
+    network=st.one_of(st.none(), _networks),
+)
+_topologies = st.one_of(
+    st.builds(
+        TopologyConfig,
+        kind=st.sampled_from(("single", "hierarchy")),
+        edge_count=st.integers(min_value=1, max_value=64),
+    ),
+    st.builds(
+        TopologyConfig,
+        kind=st.just("tree"),
+        # edge_count stays at its default: trees reject overrides.
+        levels=st.lists(
+            st.one_of(_pull_levels, _push_levels), min_size=1, max_size=3
+        ).map(tuple),
+    ),
 )
 _optional_durations = st.one_of(
     st.none(),
@@ -174,6 +199,63 @@ class TestRejection:
     def test_nonpositive_edge_count(self):
         with pytest.raises(SimulationConfigError, match="edge_count"):
             TopologyConfig(kind="hierarchy", edge_count=0)
+
+    def test_tree_requires_levels(self):
+        with pytest.raises(SimulationConfigError, match="levels"):
+            TopologyConfig(kind="tree")
+
+    def test_levels_rejected_outside_tree(self):
+        with pytest.raises(SimulationConfigError, match="levels"):
+            TopologyConfig(kind="single", levels=(LevelConfig(),))
+
+    def test_edge_count_rejected_on_tree(self):
+        # A tree's shape comes from levels; a customised edge_count
+        # would be silently ignored, so it is rejected instead.
+        with pytest.raises(SimulationConfigError, match="edge_count"):
+            TopologyConfig(
+                kind="tree", edge_count=8, levels=(LevelConfig(),)
+            )
+
+    def test_levels_must_be_a_sequence(self):
+        with pytest.raises(SimulationConfigError, match="levels"):
+            TopologyConfig(kind="tree", levels={"fan_out": 2})  # type: ignore[arg-type]
+
+    def test_level_fan_out_validated(self):
+        with pytest.raises(SimulationConfigError, match="fan_out"):
+            LevelConfig(fan_out=0)
+
+    def test_level_mode_validated(self):
+        with pytest.raises(SimulationConfigError, match="mode"):
+            LevelConfig(mode="gossip")
+
+    def test_push_level_rejects_policy(self):
+        with pytest.raises(SimulationConfigError, match="push"):
+            LevelConfig(mode="push", policy=PolicyConfig(name="limd"))
+
+    def test_level_accepts_nested_mappings(self):
+        topology = TopologyConfig(
+            kind="tree",
+            levels=(
+                {"fan_out": 1, "mode": "push"},  # type: ignore[arg-type]
+                {
+                    "fan_out": 4,
+                    "policy": {"name": "baseline", "params": {"delta": 60.0}},
+                    "network": {"one_way_latency_s": 0.05},
+                },
+            ),
+        )
+        assert isinstance(topology.levels[1].policy, PolicyConfig)
+        assert isinstance(topology.levels[1].network, NetworkConfig)
+
+    def test_unknown_level_field_rejected(self):
+        with pytest.raises(SimulationConfigError, match="surprise"):
+            TopologyConfig(
+                kind="tree",
+                levels=({"fan_out": 2, "surprise": 1},),  # type: ignore[arg-type]
+            )
+
+    def test_non_tree_serialization_keeps_two_field_shape(self):
+        assert TopologyConfig().to_dict() == {"kind": "single", "edge_count": 4}
 
     def test_negative_latency(self):
         with pytest.raises(SimulationConfigError, match="one_way_latency_s"):

@@ -1,4 +1,11 @@
-"""Tests for hierarchical proxy caching (ProxyCache as an upstream)."""
+"""Tests for hierarchical caching (ProxyCache as an upstream) on chains.
+
+Chains are fan-out-1 :class:`~repro.topology.tree.TopologyTree` shapes;
+the deprecated :class:`~repro.proxy.hierarchy.ProxyChain` shim over the
+same layer is pinned in ``TestProxyChainShim`` (warning + byte-equal
+behaviour).  Wider trees, push levels, and hybrids are covered by
+``tests/test_topology_tree.py``.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ import random
 
 import pytest
 
+from repro.api.deprecation import ReproDeprecationWarning
 from repro.consistency.base import FixedTTRPolicy
 from repro.consistency.limd import LimdPolicy
 from repro.core.types import ObjectId, TTRBounds
@@ -17,6 +25,7 @@ from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.server.updates import UpdateFeeder, feed_traces
 from repro.sim.kernel import Kernel
+from repro.topology import TopologyTree, uniform_levels
 from repro.traces.model import trace_from_times
 from repro.traces.synthetic import poisson_trace
 
@@ -81,57 +90,54 @@ class TestProxyHandleRequest:
         assert proxy.counters.get("downstream_404") == 1
 
 
-class TestProxyChain:
-    def _chain(self, depth, ttl_by_level=None):
-        kernel = Kernel()
-        origin = OriginServer()
-        origin.create_object(X, created_at=0.0)
-        chain = ProxyChain(kernel, origin, depth=depth)
-        ttl_by_level = ttl_by_level or {}
-        chain.register_object(
-            X,
-            lambda level, _oid: FixedTTRPolicy(
-                ttr=ttl_by_level.get(level, 60.0)
-            ),
-        )
-        return kernel, origin, chain
+def _chain(depth, ttl_by_level=None):
+    """A fan-out-1 tree with per-level fixed TTRs, object registered."""
+    kernel = Kernel()
+    origin = OriginServer()
+    origin.create_object(X, created_at=0.0)
+    tree = TopologyTree(kernel, origin, uniform_levels(depth))
+    ttl_by_level = ttl_by_level or {}
+    tree.register_object(
+        X,
+        lambda level, _oid: FixedTTRPolicy(ttr=ttl_by_level.get(level, 60.0)),
+    )
+    return kernel, origin, tree
 
-    def test_depth_validated(self):
-        kernel = Kernel()
-        with pytest.raises(ValueError):
-            ProxyChain(kernel, OriginServer(), depth=0)
 
+class TestChainTopology:
     def test_every_level_populated_after_registration(self):
-        _kernel, _origin, chain = self._chain(depth=3)
-        for proxy in chain.proxies:
-            assert proxy.entry_for(X).populated
+        _kernel, _origin, tree = _chain(depth=3)
+        for node in tree.nodes:
+            assert node.proxy.entry_for(X).populated
 
     def test_root_and_edge_identities(self):
-        _kernel, _origin, chain = self._chain(depth=3)
-        assert chain.root is chain.proxies[0]
-        assert chain.edge is chain.proxies[2]
-        assert chain.depth == 3
+        _kernel, _origin, tree = _chain(depth=3)
+        assert tree.root is tree.nodes[0]
+        assert tree.edge_nodes == (tree.nodes[2],)
+        assert tree.depth == 3
+        assert tree.node_count == 3
 
     def test_upstream_wiring(self):
-        _kernel, origin, chain = self._chain(depth=2)
-        assert chain.upstream_of(0) is origin
-        assert chain.upstream_of(1) is chain.proxies[0]
+        _kernel, origin, tree = _chain(depth=2)
+        assert tree.root.upstream is origin
+        assert tree.edge_nodes[0].upstream is tree.root.proxy
+        assert tree.edge_nodes[0].parent is tree.root
 
     def test_update_propagates_level_by_level(self):
-        kernel, origin, chain = self._chain(
+        kernel, origin, tree = _chain(
             depth=2, ttl_by_level={0: 10.0, 1: 25.0}
         )
         kernel.schedule_at(5.0, lambda k: origin.apply_update(X, 5.0))
         kernel.run(until=100.0)
-        root_snapshot = chain.root.entry_for(X).snapshot
-        edge_snapshot = chain.edge.entry_for(X).snapshot
+        root_snapshot = tree.root.proxy.entry_for(X).snapshot
+        edge_snapshot = tree.edge_nodes[0].proxy.entry_for(X).snapshot
         assert root_snapshot is not None and root_snapshot.version == 1
         assert edge_snapshot is not None and edge_snapshot.version == 1
 
     def test_edge_staleness_bounded_by_sum_of_ttrs(self):
         # Root refreshes every 10 s, edge every 25 s: the edge copy can
-        # be at most ~35 s behind the origin.
-        kernel, origin, chain = self._chain(
+        # be at most ~35 s behind the origin (Σ Δᵢ).
+        kernel, origin, tree = _chain(
             depth=2, ttl_by_level={0: 10.0, 1: 25.0}
         )
         update_time = 7.0
@@ -140,9 +146,10 @@ class TestProxyChain:
         )
         # Find the first instant the edge holds version 1.
         seen_at = []
+        edge = tree.edge_nodes[0].proxy
 
         def probe(kernel_):
-            snapshot = chain.edge.entry_for(X).snapshot
+            snapshot = edge.entry_for(X).snapshot
             if snapshot and snapshot.version == 1 and not seen_at:
                 seen_at.append(kernel_.now())
 
@@ -153,24 +160,20 @@ class TestProxyChain:
         assert seen_at[0] - update_time <= 10.0 + 25.0 + 1.0
 
     def test_origin_sees_only_root_polls(self):
-        kernel, origin, chain = self._chain(
+        kernel, origin, tree = _chain(
             depth=3, ttl_by_level={0: 10.0, 1: 10.0, 2: 10.0}
         )
         kernel.run(until=200.0)
-        root_polls = chain.root.counters.get("polls")
-        assert chain.origin_request_count() == root_polls
+        root_polls = tree.root.proxy.counters.get("polls")
+        assert tree.origin_request_count() == root_polls
         # Deeper levels never reach the origin.
-        assert (
-            chain.proxies[1].counters.get("polls")
-            + chain.proxies[2].counters.get("polls")
-            > 0
-        )
+        assert sum(tree.polls_per_level()[1:]) > 0
 
     def test_polls_per_level_shapes(self):
-        kernel, _origin, chain = self._chain(depth=2)
+        kernel, _origin, tree = _chain(depth=2)
         kernel.run(until=120.0)
-        per_level_totals = chain.polls_per_level()
-        per_object = chain.polls_per_level(X)
+        per_level_totals = tree.polls_per_level()
+        per_object = tree.polls_per_level(X)
         assert len(per_level_totals) == len(per_object) == 2
         assert per_level_totals == per_object  # only one object registered
 
@@ -184,8 +187,8 @@ class TestHierarchyFidelity:
         origin = OriginServer()
         feed_traces(kernel, origin, [trace])
         delta = 120.0
-        chain = ProxyChain(kernel, origin, depth=2)
-        chain.register_object(
+        tree = TopologyTree(kernel, origin, uniform_levels(2))
+        tree.register_object(
             X,
             lambda level, _oid: LimdPolicy(
                 delta, bounds=TTRBounds(ttr_min=delta, ttr_max=1800.0)
@@ -193,7 +196,8 @@ class TestHierarchyFidelity:
         )
         kernel.run(until=trace.end_time)
         poll_times = [
-            record.time for record in chain.edge.entry_for(X).fetch_log
+            record.time
+            for record in tree.edge_nodes[0].proxy.entry_for(X).fetch_log
         ]
         report = temporal_fidelity(trace, poll_times, 2 * delta)
         # The composed bound is approximate (LIMD itself is best-effort)
@@ -207,15 +211,15 @@ class TestHierarchyFidelity:
         kernel = Kernel()
         origin = OriginServer()
         UpdateFeeder(kernel, origin, trace)
-        chain = ProxyChain(kernel, origin, depth=4)
-        chain.register_object(
+        tree = TopologyTree(kernel, origin, uniform_levels(4))
+        tree.register_object(
             X, lambda level, _oid: FixedTTRPolicy(ttr=30.0 + 10.0 * level)
         )
         kernel.run(until=3600.0)
-        for proxy in chain.proxies:
+        for node in tree.nodes:
             versions = [
                 record.snapshot.version
-                for record in proxy.entry_for(X).fetch_log
+                for record in node.proxy.entry_for(X).fetch_log
             ]
             assert versions == sorted(versions)
 
@@ -224,39 +228,99 @@ class TestHierarchyFailureRecovery:
     """Section 3.1's recovery story applied level-by-level."""
 
     def test_parent_recovery_does_not_break_children(self):
-        kernel = Kernel()
-        origin = OriginServer()
-        origin.create_object(X, created_at=0.0)
-        chain = ProxyChain(kernel, origin, depth=2)
-        chain.register_object(
-            X, lambda level, _oid: FixedTTRPolicy(ttr=20.0)
-        )
+        kernel, origin, tree = _chain(depth=2, ttl_by_level={0: 20.0, 1: 20.0})
         kernel.schedule_at(30.0, lambda k: origin.apply_update(X, 30.0))
         # Parent crashes and recovers mid-run: TTRs reset, cache kept.
         kernel.schedule_at(
-            45.0, lambda k: chain.root.recover_from_failure()
+            45.0, lambda k: tree.root.proxy.recover_from_failure()
         )
         kernel.run(until=120.0)
-        assert chain.root.counters.get("recoveries") == 1
-        edge_snapshot = chain.edge.entry_for(X).snapshot
+        assert tree.root.proxy.counters.get("recoveries") == 1
+        edge_snapshot = tree.edge_nodes[0].proxy.entry_for(X).snapshot
         assert edge_snapshot is not None
         # The update still propagated through the recovered parent.
         assert edge_snapshot.version == 1
 
     def test_edge_recovery_resets_only_edge(self):
+        kernel, _origin, tree = _chain(depth=2, ttl_by_level={0: 20.0, 1: 20.0})
+        edge = tree.edge_nodes[0].proxy
+        kernel.schedule_at(50.0, lambda k: edge.recover_from_failure())
+        kernel.run(until=100.0)
+        assert edge.counters.get("recoveries") == 1
+        assert tree.root.proxy.counters.get("recoveries") == 0
+        # Both copies stay populated and serve requests.
+        for node in tree.nodes:
+            assert node.proxy.entry_for(X).populated
+
+
+class TestProxyChainShim:
+    """The deprecated ProxyChain: warns, and matches the tree exactly."""
+
+    def _run_chain(self, depth):
         kernel = Kernel()
         origin = OriginServer()
         origin.create_object(X, created_at=0.0)
-        chain = ProxyChain(kernel, origin, depth=2)
+        with pytest.warns(ReproDeprecationWarning, match="ProxyChain"):
+            chain = ProxyChain(kernel, origin, depth=depth)
         chain.register_object(
-            X, lambda level, _oid: FixedTTRPolicy(ttr=20.0)
+            X, lambda level, _oid: FixedTTRPolicy(ttr=10.0 + 5.0 * level)
         )
-        kernel.schedule_at(
-            50.0, lambda k: chain.edge.recover_from_failure()
+        kernel.schedule_at(13.0, lambda k: origin.apply_update(X, 13.0))
+        kernel.run(until=300.0)
+        return chain
+
+    def _run_tree(self, depth):
+        kernel = Kernel()
+        origin = OriginServer()
+        origin.create_object(X, created_at=0.0)
+        tree = TopologyTree(kernel, origin, uniform_levels(depth))
+        tree.register_object(
+            X, lambda level, _oid: FixedTTRPolicy(ttr=10.0 + 5.0 * level)
         )
-        kernel.run(until=100.0)
-        assert chain.edge.counters.get("recoveries") == 1
-        assert chain.root.counters.get("recoveries") == 0
-        # Both copies stay populated and serve requests.
-        for proxy in chain.proxies:
-            assert proxy.entry_for(X).populated
+        kernel.schedule_at(13.0, lambda k: origin.apply_update(X, 13.0))
+        kernel.run(until=300.0)
+        return tree
+
+    def test_construction_warns(self):
+        kernel = Kernel()
+        with pytest.warns(ReproDeprecationWarning, match="TopologyTree"):
+            ProxyChain(kernel, OriginServer(), depth=1)
+
+    def test_depth_validated(self):
+        kernel = Kernel()
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(ValueError):
+                ProxyChain(kernel, OriginServer(), depth=0)
+
+    def test_chain_api_preserved(self):
+        chain = self._run_chain(depth=3)
+        assert chain.depth == 3
+        assert chain.root is chain.proxies[0]
+        assert chain.edge is chain.proxies[2]
+        assert [p.name for p in chain.proxies] == [
+            "proxy-L0",
+            "proxy-L1",
+            "proxy-L2",
+        ]
+        assert chain.upstream_of(1) is chain.proxies[0]
+        assert chain.tree.depth == 3
+
+    def test_chain_rows_match_tree_exactly(self):
+        """The shim reproduces a fan-out-1 tree poll-for-poll."""
+        for depth in (1, 2, 4):
+            chain = self._run_chain(depth)
+            tree = self._run_tree(depth)
+            assert chain.polls_per_level() == tree.polls_per_level()
+            assert chain.polls_per_level(X) == tree.polls_per_level(X)
+            assert chain.origin_request_count() == tree.origin_request_count()
+            chain_log = [
+                (record.time, record.snapshot.version, record.modified)
+                for proxy in chain.proxies
+                for record in proxy.entry_for(X).fetch_log
+            ]
+            tree_log = [
+                (record.time, record.snapshot.version, record.modified)
+                for node in tree.nodes
+                for record in node.proxy.entry_for(X).fetch_log
+            ]
+            assert chain_log == tree_log

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.consistency.base import fixed_policy_factory
 from repro.consistency.invalidation import (
     PushChannel,
     PushConsistencyClient,
     PushUpdateFeeder,
+    attach_push_channel,
 )
 from repro.core.types import ObjectId
 from repro.httpsim.network import Network
@@ -134,3 +136,106 @@ class TestPushClient:
         assert report.out_sync_time == 0.0
         report_tight = collect_temporal(proxy, trace, delta=1.0).report
         assert report_tight.out_sync_time == pytest.approx(2 * 0.5)
+
+
+def test_push_callback_alias_still_importable():
+    # The signature's canonical home moved to repro.topology.protocols;
+    # the historical import path keeps working.
+    from repro.consistency.invalidation import PushCallback
+    from repro.topology.protocols import PushCallback as canonical
+
+    assert PushCallback is canonical
+
+
+class TestAttachPushChannel:
+    """The channel as the server's update tap (topology-layer wiring)."""
+
+    def test_attached_channel_sees_direct_server_updates(self):
+        kernel, server, proxy, channel, _ = build_push_stack()
+        server.create_object(X, created_at=0.0)
+        attach_push_channel(channel)
+        assert channel.attached
+        seen = []
+        channel.subscribe(X, lambda oid, t: seen.append(t))
+        # Updates applied at the server directly — the path the trace
+        # feeders use — now reach subscribers too.
+        server.apply_update(X, 4.0)
+        assert seen == [4.0]
+
+    def test_apply_update_never_double_notifies_when_attached(self):
+        kernel, server, proxy, channel, _ = build_push_stack()
+        server.create_object(X, created_at=0.0)
+        attach_push_channel(channel)
+        attach_push_channel(channel)  # idempotent
+        seen = []
+        channel.subscribe(X, lambda oid, t: seen.append(t))
+        channel.apply_update(X, 7.0)
+        assert seen == [7.0]
+        assert channel.counters.get("notifications") == 1
+
+
+class TestMessageCostCrossover:
+    """Pin the module's cost-model claim, not just the bench's shape.
+
+    Push sends one notification + one fetch per *update*; polling
+    sends one conditional GET per *poll interval*.  Message cost must
+    therefore scale with the update rate under push and with the poll
+    rate (horizon / Δ) under pull, independent of the other knob.
+    """
+
+    HORIZON = 10_000.0
+
+    def _push_messages(self, update_times):
+        kernel, server, proxy, channel, client = build_push_stack()
+        trace = trace_from_times(X, update_times, end_time=self.HORIZON)
+        PushUpdateFeeder(kernel, channel, trace)
+        client.register_object(X)
+        kernel.run(until=self.HORIZON)
+        return (
+            channel.counters.get("notifications")
+            + proxy.entry_for(X).poll_count
+        )
+
+    def _pull_messages(self, update_times, delta):
+        kernel = Kernel()
+        server = OriginServer()
+        proxy = ProxyCache(kernel, Network(kernel))
+        trace = trace_from_times(X, update_times, end_time=self.HORIZON)
+        from repro.server.updates import feed_traces
+
+        feed_traces(kernel, server, [trace])
+        proxy.register_object(
+            X, server, fixed_policy_factory(delta)(X)
+        )
+        kernel.run(until=self.HORIZON)
+        return proxy.entry_for(X).poll_count
+
+    def test_push_cost_scales_with_update_rate(self):
+        sparse = [float(t) for t in range(1000, 2000, 100)]  # 10 updates
+        dense = [float(t) for t in range(1000, 2000, 10)]  # 100 updates
+        sparse_messages = self._push_messages(sparse)
+        dense_messages = self._push_messages(dense)
+        # 2 messages (notification + fetch) per update, +1 initial fetch.
+        assert sparse_messages == 2 * len(sparse) + 1
+        assert dense_messages == 2 * len(dense) + 1
+
+    def test_pull_cost_scales_with_poll_rate_not_updates(self):
+        sparse = [float(t) for t in range(1000, 2000, 100)]
+        dense = [float(t) for t in range(1000, 2000, 10)]
+        delta = 100.0
+        # Ten times the updates, identical message cost.
+        assert self._pull_messages(sparse, delta) == self._pull_messages(
+            dense, delta
+        )
+        # Ten times the poll rate, ~ten times the message cost.
+        tight = self._pull_messages(sparse, delta / 10)
+        loose = self._pull_messages(sparse, delta)
+        assert tight == pytest.approx(10 * loose, rel=0.02)
+
+    def test_crossover_sits_at_update_interval_vs_delta(self):
+        updates = [float(t) for t in range(500, 9500, 500)]  # every 500 s
+        push = self._push_messages(updates)
+        # Polling tighter than the mean update interval costs more
+        # messages than push; polling looser costs fewer.
+        assert self._pull_messages(updates, 100.0) > push
+        assert self._pull_messages(updates, 2000.0) < push
