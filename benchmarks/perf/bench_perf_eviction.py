@@ -1,0 +1,44 @@
+"""Microbenchmark — bounded-cache eviction policies.
+
+Times each registered eviction policy (``lru``, ``lfu``, ``tinylfu``,
+``clockpro``) replaying the same pre-generated Zipf-distributed key
+stream against a bounded :class:`~repro.proxy.cache.ObjectCache`:
+get-on-hit, insert-on-miss, evict-on-overflow.  This is the per-poll
+bookkeeping the capacity scenarios add to the simulation hot path, so
+regressions here translate directly into slower bounded sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import ObjectId
+from repro.proxy.cache import ObjectCache
+from repro.proxy.entry import CacheEntry
+
+OPS = 20_000
+KEYS = 512
+CAPACITY = 64
+
+_RNG = random.Random(20260807)
+_POPULATION = [f"k{i}" for i in range(KEYS)]
+_WEIGHTS = [1.0 / (rank + 1) ** 1.1 for rank in range(KEYS)]
+_DRAWS = _RNG.choices(_POPULATION, weights=_WEIGHTS, k=OPS)
+_STREAM = [ObjectId(key) for key in _DRAWS]
+
+
+def _replay(eviction: str) -> ObjectCache:
+    cache = ObjectCache(capacity=CAPACITY, eviction=eviction)
+    for object_id in _STREAM:
+        if cache.get(object_id) is None:
+            cache.put(CacheEntry(object_id))
+    return cache
+
+
+@pytest.mark.parametrize("eviction", ["lru", "lfu", "tinylfu", "clockpro"])
+def test_eviction_policy_replay(benchmark, eviction):
+    cache = benchmark(_replay, eviction)
+    assert len(cache) == CAPACITY
+    assert cache.eviction_count > 0

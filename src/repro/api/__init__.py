@@ -9,8 +9,9 @@ engine, the sweep executor, and external callers:
   and :func:`run_simulation`, the one config execution path;
 * :mod:`repro.api.results` — :class:`ResultSet` / :class:`ResultRow`
   with a declared column schema and JSON/CSV/records exporters;
-* :mod:`repro.api.registries` — the generic :class:`Registry` the
-  consistency-policy, scenario, and workload-source lookups share;
+* :mod:`repro.core.registry` — the generic :class:`Registry` the
+  consistency-policy, scenario, workload-source, and eviction-policy
+  lookups share (re-exported here for compatibility);
 * :mod:`repro.api.runs` — the canonical run functions
   (``run_individual``, the mutual-consistency runs, ``run_many``);
   :mod:`repro.experiments.runner` keeps them alive as deprecation
@@ -37,6 +38,7 @@ from repro.api.builder import (
     run_simulation,
 )
 from repro.api.config import (
+    CacheConfig,
     LevelConfig,
     NetworkConfig,
     PolicyConfig,
@@ -46,7 +48,7 @@ from repro.api.config import (
     WorkloadConfig,
 )
 from repro.api.deprecation import ReproDeprecationWarning
-from repro.api.registries import Registry, RegistryError
+from repro.core.registry import Registry, RegistryError
 from repro.api.results import ResultRow, ResultSchemaError, ResultSet
 from repro.api.runs import (
     RunResult,
@@ -66,6 +68,7 @@ from repro.api.workloads import (
 )
 
 __all__ = [
+    "CacheConfig",
     "LevelConfig",
     "NetworkConfig",
     "PolicyConfig",

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import (
+    CacheConfig,
     LevelConfig,
     NetworkConfig,
     PolicyConfig,
@@ -42,17 +43,23 @@ from repro.api.results import ResultSet
 from repro.api.runs import RunResult, build_core
 from repro.api.workloads import resolve_workload
 from repro.consistency.base import PolicyFactory, RefreshPolicy
+from repro.core.errors import CacheConfigurationError
 from repro.core.rng import derive_seed
 from repro.core.types import ObjectId
 from repro.httpsim.network import LatencyModel
+from repro.proxy.cache import ObjectCache
 from repro.proxy.proxy import ProxyCache
+from repro.proxy.ttl_registry import TTLClassRegistry
 from repro.topology.levels import TopologyError, TreeLevel, warm_up_bound
 from repro.topology.tree import TopologyTree
 from repro.traces.model import UpdateTrace
 
 #: The declared schema every simulation outcome reports, per (node,
 #: object) pair.  Fidelity cells are ``None`` unless the config sets
-#: ``fidelity_delta_s``.
+#: ``fidelity_delta_s``; the eviction columns are all zero for
+#: unbounded caches (the default) and ``staleness_violations`` counts
+#: absence windows that voided the policy's Δ bound (see
+#: :func:`repro.metrics.collector.collect_eviction_impact`).
 RESULT_COLUMNS: Tuple[str, ...] = (
     "node",
     "object",
@@ -60,6 +67,9 @@ RESULT_COLUMNS: Tuple[str, ...] = (
     "polls",
     "fidelity_by_violations",
     "fidelity_by_time",
+    "evictions",
+    "refetch_after_evict",
+    "staleness_violations",
 )
 
 
@@ -88,9 +98,8 @@ class SimulationOutcome:
 
 
 def _policy_factory(policy: PolicyConfig) -> PolicyFactory:
-    # Imported lazily: repro.consistency.registry reuses
-    # repro.api.registries, so a top-level import here would cycle
-    # through the package __init__.
+    # Imported lazily so building the api package does not drag in
+    # every consistency policy module.
     from repro.consistency.registry import build_policy_factory
 
     try:
@@ -138,20 +147,36 @@ def _node_rows(
     traces: Sequence[UpdateTrace],
     delta: Optional[float],
     *,
+    horizon: Optional[float] = None,
     snapshots: bool = False,
 ) -> List[Dict[str, object]]:
+    from repro.metrics.collector import collect_eviction_impact
+
     score = _snapshot_fidelity if snapshots else _poll_fidelity
     rows = []
     for trace in traces:
-        violations, by_time = score(proxy, trace, delta)
+        # A bounded cache may have evicted the object without a later
+        # refetch: there is then no entry (and no poll history) to
+        # score — entry_or_none still raises for unregistered objects.
+        entry = proxy.entry_or_none(trace.object_id)
+        if entry is not None:
+            violations, by_time = score(proxy, trace, delta)
+            polls = entry.poll_count
+        else:
+            violations, by_time = None, None
+            polls = 0
+        impact = collect_eviction_impact(proxy, trace, delta, horizon=horizon)
         rows.append(
             {
                 "node": node,
                 "object": str(trace.object_id),
                 "updates": trace.update_count,
-                "polls": proxy.entry_for(trace.object_id).poll_count,
+                "polls": polls,
                 "fidelity_by_violations": violations,
                 "fidelity_by_time": by_time,
+                "evictions": impact.evictions,
+                "refetch_after_evict": impact.refetches_after_evict,
+                "staleness_violations": impact.staleness_violations,
             }
         )
     return rows
@@ -161,6 +186,56 @@ def _latency_of(network: NetworkConfig) -> LatencyModel:
     return LatencyModel(
         one_way=network.one_way_latency_s, jitter=network.jitter_s
     )
+
+
+def _cache_factory(
+    cache: CacheConfig,
+) -> Optional[Callable[[int, int], Optional[ObjectCache]]]:
+    """Per-node cache builder for bounded configs (None when unbounded).
+
+    Resolving the eviction name eagerly — one throwaway build — turns a
+    typo'd ``cache.eviction`` into a config error before any simulation
+    state exists, matching how policy names fail.
+    """
+    if not cache.bounded:
+        return None
+    capacity = cache.capacity
+    assert capacity is not None
+    try:
+        ObjectCache(capacity=capacity, eviction=cache.eviction)
+    except CacheConfigurationError as exc:
+        raise SimulationConfigError(str(exc)) from None
+
+    def build(_level: int, _index: int) -> ObjectCache:
+        return ObjectCache(capacity=capacity, eviction=cache.eviction)
+
+    return build
+
+
+def _with_ttl_classes(
+    factory: PolicyFactory, cache: CacheConfig
+) -> PolicyFactory:
+    """Overlay per-class static-TTL policies on the main policy factory.
+
+    Objects resolving to a declared TTL class (or catching the default
+    TTL) run ``static_ttl`` with that TTL; everything else keeps the
+    simulation's main policy.  An object absent from
+    ``cache.object_classes`` is its own class, so TTL tables can key
+    directly by object.
+    """
+    if not cache.has_ttl_classes:
+        return factory
+    registry = TTLClassRegistry(cache.ttl_classes, cache.default_ttl_s)
+    from repro.consistency.ttl import static_ttl_policy_factory
+
+    def build(object_id: ObjectId) -> RefreshPolicy:
+        key = str(object_id)
+        ttl = registry.get_ttl(cache.object_classes.get(key, key))
+        if ttl is None:
+            return factory(object_id)
+        return static_ttl_policy_factory(ttl)(object_id)
+
+    return build
 
 
 def _resolve_horizon(
@@ -236,6 +311,7 @@ def _run_tree(
             want_history=config.want_history,
             event_log=event_log,
             link_rng=link_rng,
+            cache_factory=_cache_factory(config.cache),
         )
     except TopologyError as exc:
         raise SimulationConfigError(str(exc)) from None
@@ -246,7 +322,8 @@ def _run_tree(
     for trace in traces:
         tree.register_object(trace.object_id, level_policy)
 
-    kernel.run(until=_resolve_horizon(config, traces, levels))
+    horizon = _resolve_horizon(config, traces, levels)
+    kernel.run(until=horizon)
 
     delta = config.fidelity_delta_s
     rows: List[Dict[str, object]] = []
@@ -260,6 +337,7 @@ def _run_tree(
                 node.proxy,
                 traces,
                 delta,
+                horizon=horizon,
                 snapshots=node.level > 0,
             )
         )
@@ -289,7 +367,9 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
     sources, policies, or object keys before any simulation starts.
     """
     traces = resolve_workload(config.workload, config.seed)
-    policy_factory = _policy_factory(config.policy)
+    policy_factory = _with_ttl_classes(
+        _policy_factory(config.policy), config.cache
+    )
     if config.topology.kind == "tree":
         return _run_tree(config, traces, policy_factory)
     latency = _latency_of(config.network)
@@ -330,6 +410,7 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
         link_labeler=lambda level, index: (
             "network" if level == 0 else f"network.edge-{index}"
         ),
+        cache_factory=_cache_factory(config.cache),
     )
     proxy = tree.root.proxy
     for trace in traces:
@@ -338,15 +419,23 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
             lambda _level, object_id: policy_factory(object_id),
         )
 
-    kernel.run(until=_resolve_horizon(config, traces, levels))
+    horizon = _resolve_horizon(config, traces, levels)
+    kernel.run(until=horizon)
 
     edges = [node.proxy for node in tree.edge_nodes] if hierarchy else []
     delta = config.fidelity_delta_s
     primary = "proxy" if not edges else "parent"
-    rows = _node_rows(primary, proxy, traces, delta)
+    rows = _node_rows(primary, proxy, traces, delta, horizon=horizon)
     for index, edge in enumerate(edges):
         rows.extend(
-            _node_rows(f"edge-{index}", edge, traces, delta, snapshots=True)
+            _node_rows(
+                f"edge-{index}",
+                edge,
+                traces,
+                delta,
+                horizon=horizon,
+                snapshots=True,
+            )
         )
     return SimulationOutcome(
         config=config,
@@ -467,6 +556,38 @@ class SimulationBuilder:
                 one_way_latency_s=one_way_latency_s, jitter_s=jitter_s
             )
         self._config = replace(self._config, network=network)
+        return self
+
+    def cache(
+        self,
+        capacity: Union[None, int, CacheConfig] = None,
+        *,
+        eviction: str = "lru",
+        ttl_classes: Optional[Dict[str, float]] = None,
+        default_ttl_s: Optional[float] = None,
+        object_classes: Optional[Dict[str, str]] = None,
+    ) -> "SimulationBuilder":
+        """Bound each node's cache and/or declare TTL classes.
+
+        ``capacity=None`` keeps the paper's unbounded cache (TTL
+        classes still apply); a :class:`CacheConfig` replaces the whole
+        section.  Example::
+
+            builder.cache(64, eviction="tinylfu",
+                          ttl_classes={"news": 300.0},
+                          object_classes={"cnn_fn": "news"})
+        """
+        if isinstance(capacity, CacheConfig):
+            cache = capacity
+        else:
+            cache = CacheConfig(
+                capacity=capacity,
+                eviction=eviction,
+                ttl_classes=ttl_classes or {},
+                default_ttl_s=default_ttl_s,
+                object_classes=object_classes or {},
+            )
+        self._config = replace(self._config, cache=cache)
         return self
 
     def seed(self, seed: int) -> "SimulationBuilder":

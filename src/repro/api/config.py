@@ -2,9 +2,10 @@
 
 :class:`SimulationConfig` is the declarative description of one
 simulation — *which* workload feeds *which* consistency policy over
-*which* proxy topology and network — as plain data.  It composes four
+*which* proxy topology and network — as plain data.  It composes five
 sub-configs (:class:`WorkloadConfig`, :class:`PolicyConfig`,
-:class:`TopologyConfig`, :class:`NetworkConfig`), each frozen, validated
+:class:`TopologyConfig`, :class:`NetworkConfig`,
+:class:`CacheConfig`), each frozen, validated
 on construction, and serializable with the same discipline as
 :class:`~repro.scenarios.spec.ScenarioSpec`:
 
@@ -367,12 +368,122 @@ class NetworkConfig(_ConfigBase):
         }
 
 
+@dataclass(frozen=True)
+class CacheConfig(_ConfigBase):
+    """Per-node cache bounds and freshness classes.
+
+    The default — unbounded, no TTL classes — is the paper's setting
+    ("an infinitely large cache", Section 6.1.1) and changes nothing.
+
+    Attributes:
+        capacity: Maximum entries per proxy cache; ``None`` (default)
+            is unbounded.
+        eviction: Eviction-policy registry name for bounded caches
+            (``"lru"``, ``"lfu"``, ``"tinylfu"``, ``"clockpro"``; see
+            :data:`repro.proxy.eviction.EVICTION_POLICIES`).  Resolved
+            at build time, like policy names.
+        ttl_classes: Declared TTL (seconds) per object class; objects
+            resolving to a class listed here run a ``static_ttl``
+            policy with that TTL instead of the simulation's main
+            policy.
+        default_ttl_s: TTL for objects whose class is missing from
+            ``ttl_classes``; ``None`` (default) means unclassified
+            objects keep the main policy.
+        object_classes: Object key → class label.  An object absent
+            here is its own class (so ``ttl_classes`` can address
+            single objects directly, the way an ops TTL table keys by
+            endpoint).
+    """
+
+    capacity: Optional[int] = None
+    eviction: str = "lru"
+    ttl_classes: Mapping[str, float] = field(default_factory=dict)
+    default_ttl_s: Optional[float] = None
+    object_classes: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None:
+            _require_int("cache", "capacity", self.capacity)
+            if self.capacity <= 0:
+                raise SimulationConfigError(
+                    f"cache.capacity must be positive or null, "
+                    f"got {self.capacity}"
+                )
+        _require_str("cache", "eviction", self.eviction)
+        if not self.eviction:
+            raise SimulationConfigError("cache.eviction must be non-empty")
+        if not isinstance(self.ttl_classes, Mapping):
+            raise SimulationConfigError(
+                "cache.ttl_classes must be a mapping, got "
+                f"{type(self.ttl_classes).__name__}"
+            )
+        classes: Dict[str, float] = {}
+        for label, ttl in self.ttl_classes.items():
+            if not isinstance(label, str) or not label:
+                raise SimulationConfigError(
+                    f"cache.ttl_classes keys must be non-empty strings, "
+                    f"got {label!r}"
+                )
+            value = _require_float("cache", f"ttl_classes[{label!r}]", ttl)
+            if value <= 0:
+                raise SimulationConfigError(
+                    f"cache.ttl_classes[{label!r}] must be > 0, got {ttl!r}"
+                )
+            classes[label] = value
+        object.__setattr__(self, "ttl_classes", classes)
+        if self.default_ttl_s is not None:
+            value = _require_float("cache", "default_ttl_s", self.default_ttl_s)
+            if value <= 0:
+                raise SimulationConfigError(
+                    f"cache.default_ttl_s must be > 0 or null, "
+                    f"got {self.default_ttl_s!r}"
+                )
+            object.__setattr__(self, "default_ttl_s", value)
+        if not isinstance(self.object_classes, Mapping):
+            raise SimulationConfigError(
+                "cache.object_classes must be a mapping, got "
+                f"{type(self.object_classes).__name__}"
+            )
+        mapping: Dict[str, str] = {}
+        for key, label in self.object_classes.items():
+            if not isinstance(key, str) or not key:
+                raise SimulationConfigError(
+                    f"cache.object_classes keys must be non-empty strings, "
+                    f"got {key!r}"
+                )
+            if not isinstance(label, str) or not label:
+                raise SimulationConfigError(
+                    f"cache.object_classes[{key!r}] must be a non-empty "
+                    f"string, got {label!r}"
+                )
+            mapping[key] = label
+        object.__setattr__(self, "object_classes", mapping)
+
+    @property
+    def bounded(self) -> bool:
+        return self.capacity is not None
+
+    @property
+    def has_ttl_classes(self) -> bool:
+        return bool(self.ttl_classes) or self.default_ttl_s is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "eviction": self.eviction,
+            "ttl_classes": dict(self.ttl_classes),
+            "default_ttl_s": self.default_ttl_s,
+            "object_classes": dict(self.object_classes),
+        }
+
+
 #: SimulationConfig fields holding a nested sub-config, with their types.
 _SUB_CONFIGS: Dict[str, type] = {
     "workload": WorkloadConfig,
     "policy": PolicyConfig,
     "topology": TopologyConfig,
     "network": NetworkConfig,
+    "cache": CacheConfig,
 }
 
 
@@ -385,6 +496,8 @@ class SimulationConfig(_ConfigBase):
         policy: Per-object consistency policy (registry name + params).
         topology: Proxy arrangement between clients and origin.
         network: Link latency model.
+        cache: Per-node cache bounds (capacity + eviction policy) and
+            TTL classes; the default is the paper's unbounded cache.
         seed: Root RNG seed (derives every substream).
         horizon_s: Stop time; ``None`` runs to the longest trace end.
         fidelity_delta_s: Δt used for the fidelity columns of the
@@ -405,6 +518,7 @@ class SimulationConfig(_ConfigBase):
     )
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     seed: int = DEFAULT_SEED
     horizon_s: Optional[float] = None
     fidelity_delta_s: Optional[float] = None
@@ -458,6 +572,7 @@ class SimulationConfig(_ConfigBase):
             "policy": self.policy.to_dict(),
             "topology": self.topology.to_dict(),
             "network": self.network.to_dict(),
+            "cache": self.cache.to_dict(),
             "seed": self.seed,
             "horizon_s": self.horizon_s,
             "fidelity_delta_s": self.fidelity_delta_s,

@@ -1,6 +1,6 @@
 """Workload-source registry: resolve a :class:`WorkloadConfig` to traces.
 
-The third reuse of the generic :class:`~repro.api.registries.Registry`
+The third reuse of the generic :class:`~repro.core.registry.Registry`
 (after consistency policies and scenarios).  A *source* turns the
 config's object keys into seeded :class:`~repro.traces.model.UpdateTrace`
 instances:
@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, Mapping, Sequence
 
 from repro.api.config import SimulationConfigError, WorkloadConfig
-from repro.api.registries import Registry
+from repro.core.registry import Registry
 from repro.core.rng import RngRegistry, derive_seed
 from repro.core.types import HOUR
 from repro.traces.model import UpdateTrace

@@ -4,7 +4,7 @@ Experiments and examples configure policies from strings/dicts (sweep
 definitions, :class:`~repro.api.config.PolicyConfig`); the registry
 centralises name → factory resolution so new policies plug in without
 touching the harness.  Backed by the same generic
-:class:`~repro.api.registries.Registry` the scenario and
+:class:`~repro.core.registry.Registry` the scenario and
 workload-source lookups use.
 """
 
@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.api.registries import Registry
+from repro.core.registry import Registry
 
 from repro.consistency.adaptive_value import (
     AdaptiveValueParameters,

@@ -1,0 +1,126 @@
+"""Generic name → item registry.
+
+Three subsystems grew the same idiom independently — a module-level
+dict, a ``register_*`` function that rejects duplicates, and a lookup
+that lists the known names on a miss (consistency policies, scenarios,
+and now workload sources).  :class:`Registry` is that idiom once, typed:
+
+* duplicate registration is an error (never silent replacement);
+* unknown-name lookups raise with the sorted known names, through a
+  per-registry ``error_factory`` so each subsystem keeps its own
+  exception type (``PolicyConfigurationError``,
+  ``UnknownScenarioError``, ...);
+* an optional ``loader`` hook runs once before the first lookup, for
+  registries populated by import side effects (the built-in scenarios).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.core.errors import ReproError
+
+T = TypeVar("T")
+
+#: Builds the exception for an unknown name: ``(name, known) -> Exception``.
+ErrorFactory = Callable[[str, List[str]], Exception]
+
+
+class RegistryError(ReproError, KeyError):
+    """Default error for registry misses and duplicate registrations."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr the message
+        return str(self.args[0])
+
+
+def _default_error(kind: str) -> ErrorFactory:
+    def build(name: str, known: List[str]) -> Exception:
+        return RegistryError(
+            f"unknown {kind} {name!r}; known: {', '.join(known) or '(none)'}"
+        )
+
+    return build
+
+
+class Registry(Generic[T]):
+    """A typed name → item mapping with uniform error behaviour.
+
+    Args:
+        kind: Human noun for messages ("policy", "scenario", ...).
+        error_factory: Builds the unknown-name exception; defaults to
+            :class:`RegistryError` mentioning ``kind``.
+        loader: Called once, lazily, before the first read — use for
+            registries filled by importing modules for their
+            registration side effects.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        error_factory: Optional[ErrorFactory] = None,
+        loader: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.kind = kind
+        self._items: Dict[str, T] = {}
+        self._error_factory = error_factory or _default_error(kind)
+        self._loader = loader
+        self._loaded = loader is None
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            # Flip the flag first: the loader itself registers items
+            # (and may read the registry) without re-entering.
+            self._loaded = True
+            assert self._loader is not None
+            self._loader()
+
+    def register(self, name: str, item: T) -> T:
+        """Add ``item`` under ``name``; duplicate names are an error."""
+        if name in self._items:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        self._items[name] = item
+        return item
+
+    def get(self, name: str) -> T:
+        """Look up one item by name (unknown → subsystem's error type)."""
+        self._ensure_loaded()
+        try:
+            return self._items[name]
+        except KeyError:
+            raise self._error_factory(name, self.names()) from None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        self._ensure_loaded()
+        return sorted(self._items)
+
+    def values(self) -> List[T]:
+        """All registered items, in name order."""
+        self._ensure_loaded()
+        return [self._items[name] for name in sorted(self._items)]
+
+    def items(self) -> List[Tuple[str, T]]:
+        """All ``(name, item)`` pairs, in name order."""
+        self._ensure_loaded()
+        return [(name, self._items[name]) for name in sorted(self._items)]
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._items
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_loaded()
+        return iter(sorted(self._items))
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self._items)} items)"

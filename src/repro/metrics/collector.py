@@ -141,6 +141,81 @@ def collect_value(
 
 
 @dataclass(frozen=True)
+class EvictionImpact:
+    """How a bounded cache's evictions interacted with consistency.
+
+    Each eviction of an object opens an absence window (see
+    :class:`~repro.proxy.cache.EvictionWindow`): until the refetch the
+    proxy holds neither a copy nor poll history, so the consistency
+    policy's Δ bound cannot hold by construction.  A window counts as an
+    *effective staleness violation* when an origin update actually fell
+    inside it and was still unserved more than Δ later — eviction did
+    not merely suspend the bound, it voided it.
+
+    Attributes:
+        object_id: The object evaluated.
+        evictions: Times the object was evicted from this cache.
+        refetches_after_evict: Absence windows closed by a refetch.
+        staleness_violations: Windows in which an origin update went
+            unseen for longer than Δ (``0`` when ``delta`` is ``None``).
+        absent_time: Total simulated time the object was missing from
+            the cache (open windows clipped at the horizon).
+    """
+
+    object_id: ObjectId
+    evictions: int
+    refetches_after_evict: int
+    staleness_violations: int
+    absent_time: Seconds
+
+
+def collect_eviction_impact(
+    proxy: ProxyCache,
+    trace: UpdateTrace,
+    delta: Optional[Seconds],
+    *,
+    horizon: Optional[Seconds] = None,
+) -> EvictionImpact:
+    """Eviction × consistency report for one object after a run.
+
+    ``horizon`` closes still-open absence windows (defaults to the
+    trace end); ``delta`` is the Δ bound the policy promised — pass
+    ``None`` to skip violation counting (unbounded runs report zeros
+    across the board since no windows exist).
+    """
+    end = horizon if horizon is not None else trace.end_time
+    evictions = 0
+    refetches = 0
+    violations = 0
+    absent = 0.0
+    for window in proxy.cache.eviction_windows:
+        if window.object_id != trace.object_id:
+            continue
+        evictions += 1
+        if window.closed:
+            refetches += 1
+        close = window.refetched_at if window.refetched_at is not None else end
+        absent += window.duration(end)
+        if delta is None:
+            continue
+        # The bound is voided iff some update inside the window was
+        # still unserved more than Δ after it happened: the first
+        # chance to serve it is the refetch (or never, for open
+        # windows — scored at the horizon).
+        for update in trace.updates_in(window.evicted_at, close):
+            if close - update.time > delta:
+                violations += 1
+                break
+    return EvictionImpact(
+        object_id=trace.object_id,
+        evictions=evictions,
+        refetches_after_evict=refetches,
+        staleness_violations=violations,
+        absent_time=absent,
+    )
+
+
+@dataclass(frozen=True)
 class PairReport:
     """Mutual-consistency evaluation for an object pair."""
 

@@ -2,28 +2,63 @@
 
 The paper's experiments "assume that the proxy employs an infinitely
 large cache" (Section 6.1.1); :class:`ObjectCache` defaults to that.
-Bounded modes with LRU/LFU eviction are provided for completeness —
-a proxy a downstream user deploys will want them — and are exercised by
-the workload examples and tests, never by the paper-reproduction
-benches.
+Bounded caches delegate victim selection to a named policy from
+:mod:`repro.proxy.eviction` (``"lru"``, ``"lfu"``, ``"tinylfu"``,
+``"clockpro"``) and keep the bookkeeping the eviction × consistency
+scenarios need: every eviction opens an :class:`EvictionWindow` that
+closes when the object is refetched, because between those two instants
+the object has *no* cached copy and no poll history — the consistency
+policy's staleness bound Δ is void for that span, which is exactly what
+the ``capacity_edge`` scenarios measure.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import OrderedDict
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import CacheConfigurationError
-from repro.core.types import ObjectId
+from repro.core.types import ObjectId, Seconds
 from repro.proxy.entry import CacheEntry
+from repro.proxy.eviction import EvictionPolicy, build_eviction_policy
+
+#: Default eviction policy for bounded caches.
+DEFAULT_EVICTION = "lru"
 
 
-class EvictionPolicy(enum.Enum):
-    """How a bounded cache chooses a victim."""
+def _zero_clock() -> Seconds:
+    return 0.0
 
-    LRU = "lru"
-    LFU = "lfu"
+
+class EvictionWindow:
+    """One cache-absence span for an object: eviction until refetch.
+
+    ``refetched_at`` is ``None`` while the window is open (the object
+    never re-entered the cache); consumers treat an open window as
+    extending to the end of the observation period.
+    """
+
+    __slots__ = ("object_id", "evicted_at", "refetched_at")
+
+    def __init__(self, object_id: ObjectId, evicted_at: Seconds) -> None:
+        self.object_id = object_id
+        self.evicted_at = evicted_at
+        self.refetched_at: Optional[Seconds] = None
+
+    @property
+    def closed(self) -> bool:
+        return self.refetched_at is not None
+
+    def duration(self, horizon: Seconds) -> Seconds:
+        """Length of the absence span, open windows clipped at ``horizon``."""
+        end = self.refetched_at if self.refetched_at is not None else horizon
+        return max(0.0, end - self.evicted_at)
+
+    def __repr__(self) -> str:
+        end = "open" if self.refetched_at is None else f"{self.refetched_at:g}"
+        return (
+            f"EvictionWindow({self.object_id!r}, "
+            f"{self.evicted_at:g} -> {end})"
+        )
 
 
 class ObjectCache:
@@ -32,36 +67,73 @@ class ObjectCache:
     Args:
         capacity: Maximum number of entries, or ``None`` for unbounded
             (the paper's configuration).
-        eviction: Victim-selection policy for bounded caches.
+        eviction: Name of the victim-selection policy for bounded
+            caches (see :data:`repro.proxy.eviction.EVICTION_POLICIES`).
     """
 
     def __init__(
         self,
         capacity: Optional[int] = None,
-        eviction: EvictionPolicy = EvictionPolicy.LRU,
+        eviction: str = DEFAULT_EVICTION,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise CacheConfigurationError(
                 f"capacity must be positive or None, got {capacity}"
             )
         self._capacity = capacity
-        self._eviction = eviction
-        # OrderedDict recency order: oldest first (LRU order).
-        self._entries: "OrderedDict[ObjectId, CacheEntry]" = OrderedDict()
-        self._access_counts: Dict[ObjectId, int] = {}
+        self._policy: Optional[EvictionPolicy] = (
+            build_eviction_policy(eviction, capacity)
+            if capacity is not None
+            else None
+        )
+        self._eviction_name = eviction
+        self._entries: Dict[ObjectId, CacheEntry] = {}
         self._evictions = 0
+        self._refetches_after_evict = 0
+        #: All eviction windows ever opened, in eviction order.
+        self._windows: List[EvictionWindow] = []
+        #: The open window per currently-evicted object.
+        self._open_windows: Dict[ObjectId, EvictionWindow] = {}
+        #: Simulation clock; bound by the owning proxy so windows carry
+        #: simulation timestamps (defaults to a constant 0.0 clock for
+        #: standalone use, where windows only convey ordering).
+        self._clock: Callable[[], Seconds] = _zero_clock
 
     @property
     def capacity(self) -> Optional[int]:
         return self._capacity
 
     @property
-    def eviction_policy(self) -> EvictionPolicy:
-        return self._eviction
+    def eviction_name(self) -> str:
+        """Registry name of the eviction policy ("lru" when unbounded)."""
+        return self._eviction_name
+
+    @property
+    def eviction_policy(self) -> Optional[EvictionPolicy]:
+        """The live policy instance (None for unbounded caches)."""
+        return self._policy
 
     @property
     def eviction_count(self) -> int:
         return self._evictions
+
+    @property
+    def refetch_after_evict_count(self) -> int:
+        """How many evicted objects later re-entered the cache."""
+        return self._refetches_after_evict
+
+    @property
+    def eviction_windows(self) -> Tuple[EvictionWindow, ...]:
+        """Every absence span opened so far, in eviction order."""
+        return tuple(self._windows)
+
+    def bind_clock(self, clock: Callable[[], Seconds]) -> None:
+        """Timestamp eviction windows with ``clock()`` (the kernel's now)."""
+        self._clock = clock
+
+    def was_evicted(self, object_id: ObjectId) -> bool:
+        """Whether the object was ever evicted from this cache."""
+        return any(window.object_id == object_id for window in self._windows)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,9 +154,8 @@ class ObjectCache:
         entry = self._entries.get(object_id)
         if entry is None:
             return None
-        if touch and self._capacity is not None:
-            self._entries.move_to_end(object_id)
-            self._access_counts[object_id] = self._access_counts.get(object_id, 0) + 1
+        if touch and self._policy is not None:
+            self._policy.record_access(object_id)
         return entry
 
     def put(self, entry: CacheEntry) -> Optional[CacheEntry]:
@@ -94,16 +165,29 @@ class ObjectCache:
             The evicted entry, if any.
         """
         object_id = entry.object_id
+        policy = self._policy
         if object_id in self._entries:
             self._entries[object_id] = entry
-            self._entries.move_to_end(object_id)
+            if policy is not None:
+                policy.record_access(object_id)
             return None
-        evicted: Optional[CacheEntry] = None
-        if self._capacity is not None and len(self._entries) >= self._capacity:
-            evicted = self._evict_one()
         self._entries[object_id] = entry
-        self._access_counts.setdefault(object_id, 0)
-        return evicted
+        open_window = self._open_windows.pop(object_id, None)
+        if open_window is not None:
+            open_window.refetched_at = self._clock()
+            self._refetches_after_evict += 1
+        if policy is None:
+            return None
+        policy.record_insert(object_id)
+        if len(self._entries) <= (self._capacity or 0):
+            return None
+        victim_id = policy.evict()
+        victim = self._entries.pop(victim_id)
+        window = EvictionWindow(victim_id, self._clock())
+        self._windows.append(window)
+        self._open_windows[victim_id] = window
+        self._evictions += 1
+        return victim
 
     def get_or_create(self, object_id: ObjectId) -> CacheEntry:
         """Return the entry for ``object_id``, creating it if absent."""
@@ -115,28 +199,14 @@ class ObjectCache:
 
     def remove(self, object_id: ObjectId) -> Optional[CacheEntry]:
         """Remove and return an entry (None if absent)."""
-        self._access_counts.pop(object_id, None)
-        return self._entries.pop(object_id, None)
-
-    def _evict_one(self) -> CacheEntry:
-        if self._eviction is EvictionPolicy.LRU:
-            victim_id, victim = self._entries.popitem(last=False)
-        else:  # LFU, ties broken by recency (evict the least recent)
-            victim_id = min(
-                self._entries,
-                key=lambda oid: (
-                    self._access_counts.get(oid, 0),
-                    list(self._entries).index(oid),
-                ),
-            )
-            victim = self._entries.pop(victim_id)
-        self._access_counts.pop(victim_id, None)
-        self._evictions += 1
-        return victim
+        entry = self._entries.pop(object_id, None)
+        if entry is not None and self._policy is not None:
+            self._policy.record_remove(object_id)
+        return entry
 
     def __repr__(self) -> str:
         cap = "inf" if self._capacity is None else str(self._capacity)
         return (
             f"ObjectCache(size={len(self._entries)}, capacity={cap}, "
-            f"evictions={self._evictions})"
+            f"eviction={self._eviction_name!r}, evictions={self._evictions})"
         )

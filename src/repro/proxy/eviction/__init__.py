@@ -1,0 +1,49 @@
+"""Eviction policies for bounded object caches.
+
+Four built-ins behind one :class:`EvictionPolicy` protocol, selectable
+by name through :data:`EVICTION_POLICIES`:
+
+====================  ====================================================
+``"lru"``             recency queue; evicts the longest-untouched key
+``"lfu"``             access counts; oldest insertion loses frequency ties
+``"tinylfu"``         W-TinyLFU: count-min-sketch admission over a
+                      windowed LRU
+``"clockpro"``        Clock-Pro: hot/cold clock ring with ghost test
+                      periods and an adaptive cold target
+====================  ====================================================
+
+``ObjectCache`` consumes these through :func:`build_eviction_policy`;
+scenario configs select one via ``CacheConfig.eviction``.
+"""
+
+from __future__ import annotations
+
+from repro.proxy.eviction.base import (
+    EVICTION_POLICIES,
+    EvictionPolicy,
+    EvictionPolicyFactory,
+    build_eviction_policy,
+    register_eviction_policy,
+)
+from repro.proxy.eviction.clockpro import ClockProPolicy
+from repro.proxy.eviction.lfu import LFUPolicy
+from repro.proxy.eviction.lru import LRUPolicy
+from repro.proxy.eviction.tinylfu import CountMinSketch, TinyLFUPolicy
+
+register_eviction_policy("lru", LRUPolicy)
+register_eviction_policy("lfu", LFUPolicy)
+register_eviction_policy("tinylfu", TinyLFUPolicy)
+register_eviction_policy("clockpro", ClockProPolicy)
+
+__all__ = [
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
+    "EvictionPolicyFactory",
+    "build_eviction_policy",
+    "register_eviction_policy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "TinyLFUPolicy",
+    "CountMinSketch",
+    "ClockProPolicy",
+]

@@ -1,0 +1,86 @@
+"""The eviction-policy protocol and its registry.
+
+A bounded :class:`~repro.proxy.cache.ObjectCache` delegates victim
+selection to an :class:`EvictionPolicy`: the cache owns the entries,
+the policy owns the recency/frequency bookkeeping needed to pick a
+victim.  Policies are pure data structures — no clock, no RNG — so a
+bounded cache is exactly as deterministic as its access sequence,
+which is what lets the capacity scenarios pin byte-identical goldens
+serially and across worker processes.
+
+Policies register by name in :data:`EVICTION_POLICIES` (the same
+``Registry[T]`` discipline as ``POLICIES``/``SCENARIOS``); a factory
+takes the cache capacity and returns a fresh policy instance::
+
+    from repro.proxy.eviction import build_eviction_policy
+
+    policy = build_eviction_policy("tinylfu", capacity=64)
+
+The contract every implementation honours:
+
+* ``record_insert(key)`` — a new key was admitted to the cache;
+* ``record_access(key)`` — a tracked key was touched (cache hit);
+* ``record_remove(key)`` — a tracked key left the cache by explicit
+  removal (*not* by eviction — ``evict`` forgets its own victim);
+* ``evict()`` — pick a victim among tracked keys, forget it, return
+  it.  Called only when the cache is over capacity, immediately after
+  a ``record_insert``; the just-inserted key is never the victim
+  (every policy guarantees this so the proxy's fetch-in-progress entry
+  cannot be dropped from under it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.registry import Registry
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+
+
+class EvictionPolicy(Protocol):
+    """Victim-selection bookkeeping for one bounded cache."""
+
+    #: Registry name of the policy ("lru", "tinylfu", ...).
+    name: str
+
+    def record_insert(self, key: ObjectId) -> None:
+        """Track a key newly admitted to the cache."""
+
+    def record_access(self, key: ObjectId) -> None:
+        """Mark a tracked key recently/frequently used."""
+
+    def record_remove(self, key: ObjectId) -> None:
+        """Forget a key explicitly removed from the cache."""
+
+    def evict(self) -> ObjectId:
+        """Pick, forget, and return the victim key."""
+
+
+#: Builds a policy for one cache: ``factory(capacity) -> EvictionPolicy``.
+EvictionPolicyFactory = Callable[[int], EvictionPolicy]
+
+#: The eviction-policy registry; ``EVICTION_POLICIES.names()`` lists
+#: the built-ins (populated by :mod:`repro.proxy.eviction`).
+EVICTION_POLICIES: Registry[EvictionPolicyFactory] = Registry(
+    "eviction policy",
+    error_factory=lambda name, known: CacheConfigurationError(
+        f"unknown eviction policy {name!r}; available: {known}"
+    ),
+)
+
+
+def register_eviction_policy(
+    name: str, factory: EvictionPolicyFactory
+) -> EvictionPolicyFactory:
+    """Register an eviction-policy factory under a unique name."""
+    return EVICTION_POLICIES.register(name, factory)
+
+
+def build_eviction_policy(name: str, capacity: int) -> EvictionPolicy:
+    """Build a named policy for a cache of ``capacity`` entries."""
+    if capacity <= 0:
+        raise CacheConfigurationError(
+            f"eviction policy needs a positive capacity, got {capacity}"
+        )
+    return EVICTION_POLICIES.get(name)(capacity)

@@ -1,0 +1,264 @@
+"""Clock-Pro eviction: a clock ring with hot/cold pages and test periods.
+
+Clock-Pro (Jiang, Chen & Zhang, USENIX ATC'05) approximates LIRS with
+CLOCK machinery: resident pages are either **hot** (long reuse history)
+or **cold**; a reclaimed cold page leaves a non-resident **ghost**
+behind for one *test period*, and a miss that lands on its ghost proves
+the page's reuse distance was short — it re-enters as hot, and the
+adaptive ``cold_target`` grows (more room for cold pages).  Ghost
+expiry shrinks it back.  Three hands sweep one clockwise ring:
+
+* ``hand_cold`` — reclaims the next unreferenced resident cold page
+  (referenced ones get promoted or a second chance);
+* ``hand_hot`` — demotes the next unreferenced hot page to cold and
+  terminates the test periods it sweeps past;
+* ``hand_test`` — expires the oldest ghost when ghosts outnumber the
+  capacity.
+
+This is the canonical algorithm minus one liberty: a cold page whose
+ref bit is set at ``hand_cold`` is promoted whether or not its test
+period is still running (the original promotes only in-test pages).
+All state is structural — no clock time, no RNG — so eviction order is
+a pure function of the access sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+
+
+class _Page:
+    """One ring node: a resident page or a non-resident ghost."""
+
+    __slots__ = ("key", "hot", "resident", "test", "ref", "prev", "next")
+
+    def __init__(self, key: ObjectId) -> None:
+        self.key = key
+        self.hot = False
+        self.resident = True
+        #: Whether the page's test period is running (cold pages start
+        #: one; for non-resident pages it is what keeps the ghost).
+        self.test = True
+        self.ref = False
+        self.prev: "_Page" = self
+        self.next: "_Page" = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "hot" if self.hot else ("cold" if self.resident else "ghost")
+        return f"_Page({self.key!r}, {state}, ref={self.ref})"
+
+
+class ClockProPolicy:
+    """Clock-Pro victim selection over one clockwise ring."""
+
+    name = "clockpro"
+
+    __slots__ = (
+        "_capacity",
+        "_pages",
+        "_hand_hot",
+        "_hand_cold",
+        "_hand_test",
+        "_hot",
+        "_res_cold",
+        "_ghosts",
+        "_cold_target",
+        "_newest",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheConfigurationError(
+                f"clockpro needs a positive capacity, got {capacity}"
+            )
+        self._capacity = capacity
+        #: Every page (resident or ghost) by key; a key is never both.
+        self._pages: Dict[ObjectId, _Page] = {}
+        self._hand_hot: Optional[_Page] = None
+        self._hand_cold: Optional[_Page] = None
+        self._hand_test: Optional[_Page] = None
+        self._hot = 0
+        self._res_cold = 0
+        self._ghosts = 0
+        self._cold_target = max(1, capacity // 2)
+        self._newest: Optional[ObjectId] = None
+
+    # ------------------------------------------------------------------
+    # Ring plumbing
+    # ------------------------------------------------------------------
+    def _link_tail(self, page: _Page) -> None:
+        """Insert a page behind ``hand_hot`` (the ring's insertion point)."""
+        anchor = self._hand_hot
+        if anchor is None:
+            page.prev = page.next = page
+            self._hand_hot = self._hand_cold = self._hand_test = page
+            return
+        tail = anchor.prev
+        tail.next = page
+        page.prev = tail
+        page.next = anchor
+        anchor.prev = page
+
+    def _unlink(self, page: _Page) -> None:
+        if page.next is page:
+            self._hand_hot = self._hand_cold = self._hand_test = None
+        else:
+            # A hand must never dangle on an unlinked page.
+            if self._hand_hot is page:
+                self._hand_hot = page.next
+            if self._hand_cold is page:
+                self._hand_cold = page.next
+            if self._hand_test is page:
+                self._hand_test = page.next
+            page.prev.next = page.next
+            page.next.prev = page.prev
+        del self._pages[page.key]
+
+    # ------------------------------------------------------------------
+    # EvictionPolicy protocol
+    # ------------------------------------------------------------------
+    def record_insert(self, key: ObjectId) -> None:
+        ghost = self._pages.get(key)
+        if ghost is not None and not ghost.resident:
+            # Ghost hit: the reuse distance fit the test period, so the
+            # page enters hot and cold pages earn more room.
+            self._cold_target = min(self._capacity, self._cold_target + 1)
+            self._unlink(ghost)
+            self._ghosts -= 1
+            page = _Page(key)
+            page.hot = True
+            page.test = False
+            self._hot += 1
+        else:
+            page = _Page(key)
+            self._res_cold += 1
+        self._pages[key] = page
+        self._link_tail(page)
+        self._newest = key
+
+    def record_access(self, key: ObjectId) -> None:
+        page = self._pages.get(key)
+        if page is not None and page.resident:
+            page.ref = True
+
+    def record_remove(self, key: ObjectId) -> None:
+        page = self._pages.get(key)
+        if page is None or not page.resident:
+            return
+        if page.hot:
+            self._hot -= 1
+        else:
+            self._res_cold -= 1
+        self._unlink(page)
+        if key == self._newest:
+            self._newest = None
+
+    def evict(self) -> ObjectId:
+        if self._hot + self._res_cold < 2:
+            raise CacheConfigurationError(
+                "clockpro: evict() needs at least two tracked keys"
+            )
+        while True:
+            # The just-inserted page is exempt (see base module); when
+            # it is the only reclaimable cold page, demote a hot page
+            # so hand_cold has a legitimate victim to sweep onto.
+            if self._res_cold == 0 or (
+                self._res_cold == 1 and self._only_cold_is_newest()
+            ):
+                self._run_hand_hot()
+            victim = self._run_hand_cold()
+            if victim is not None:
+                return victim
+
+    # ------------------------------------------------------------------
+    # Hands
+    # ------------------------------------------------------------------
+    def _only_cold_is_newest(self) -> bool:
+        newest = self._newest
+        if newest is None:
+            return False
+        page = self._pages.get(newest)
+        return page is not None and page.resident and not page.hot
+
+    def _run_hand_cold(self) -> Optional[ObjectId]:
+        """One reclaim attempt; None if the swept page earned a pass."""
+        assert self._hand_cold is not None
+        page = self._hand_cold
+        self._hand_cold = page.next
+        if not page.resident or page.hot:
+            return None
+        if page.ref:
+            page.ref = False
+            # Re-accessed cold page: promote to hot (its reuse distance
+            # is evidently short) and rebalance the hot allowance.
+            page.hot = True
+            page.test = False
+            self._res_cold -= 1
+            self._hot += 1
+            self._rebalance_hot()
+            return None
+        if page.key == self._newest:
+            return None
+        self._res_cold -= 1
+        if page.test:
+            # Keep a ghost for the test period; bound ghost memory.
+            page.resident = False
+            self._ghosts += 1
+            if self._ghosts > self._capacity:
+                self._run_hand_test()
+        else:
+            self._unlink(page)
+        return page.key
+
+    def _rebalance_hot(self) -> None:
+        hot_cap = max(1, self._capacity - self._cold_target)
+        while self._hot > hot_cap:
+            self._run_hand_hot()
+
+    def _run_hand_hot(self) -> None:
+        """Advance hand_hot until one hot page is demoted to cold."""
+        assert self._hand_hot is not None
+        while True:
+            page = self._hand_hot
+            self._hand_hot = page.next
+            if page.hot:
+                if page.ref:
+                    page.ref = False
+                    continue
+                page.hot = False
+                page.test = True
+                self._hot -= 1
+                self._res_cold += 1
+                return
+            if not page.resident:
+                # Sweeping past a ghost ends its test period.
+                self._unlink(page)
+                self._ghosts -= 1
+                self._cold_target = max(1, self._cold_target - 1)
+            elif page.test:
+                # A cold page hand_hot passes has outlived its test.
+                page.test = False
+
+    def _run_hand_test(self) -> None:
+        """Expire the oldest ghost (called when ghosts exceed capacity)."""
+        assert self._hand_test is not None
+        while True:
+            page = self._hand_test
+            self._hand_test = page.next
+            if not page.resident:
+                self._unlink(page)
+                self._ghosts -= 1
+                self._cold_target = max(1, self._cold_target - 1)
+                return
+
+    def __len__(self) -> int:
+        return self._hot + self._res_cold
+
+    def __repr__(self) -> str:
+        return (
+            f"ClockProPolicy(hot={self._hot}, cold={self._res_cold}, "
+            f"ghosts={self._ghosts}, cold_target={self._cold_target})"
+        )

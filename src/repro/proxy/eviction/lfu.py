@@ -1,0 +1,73 @@
+"""Least-frequently-used eviction with a deterministic tie-break.
+
+The historical ``ObjectCache`` LFU broke frequency ties by recency —
+an accident of iterating its ``OrderedDict`` (which reorders on every
+touch), so the victim among equal-count keys depended on access order
+in a way nothing documented or tested.  This implementation pins the
+tie-break explicitly: among keys with the lowest access count, the one
+*inserted first* loses.  Insertion sequence numbers are assigned once
+at admission and never change, so the choice is reproducible from the
+insert sequence alone (regression-pinned in
+``tests/test_eviction_policies.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+
+
+class LFUPolicy:
+    """LFU: evict the least-accessed key, oldest insertion first on ties."""
+
+    name = "lfu"
+
+    __slots__ = ("_counts", "_inserted_at", "_sequence", "_newest")
+
+    def __init__(self, capacity: int) -> None:
+        del capacity  # count bookkeeping needs no sizing
+        self._counts: Dict[ObjectId, int] = {}
+        self._inserted_at: Dict[ObjectId, int] = {}
+        self._sequence = itertools.count()
+        self._newest: Optional[ObjectId] = None
+
+    def record_insert(self, key: ObjectId) -> None:
+        self._counts[key] = 0
+        self._inserted_at[key] = next(self._sequence)
+        self._newest = key
+
+    def record_access(self, key: ObjectId) -> None:
+        self._counts[key] += 1
+
+    def record_remove(self, key: ObjectId) -> None:
+        self._counts.pop(key, None)
+        self._inserted_at.pop(key, None)
+        if key == self._newest:
+            self._newest = None
+
+    def evict(self) -> ObjectId:
+        if len(self._counts) < 2:
+            raise CacheConfigurationError(
+                "lfu: evict() needs at least two tracked keys"
+            )
+        # The newest insertion is exempt — it is the candidate the cache
+        # just admitted (its count-0 would otherwise lose to any polled
+        # key, dropping the in-progress fetch from under the proxy).
+        victim = min(
+            (key for key in self._counts if key != self._newest),
+            key=self._rank,
+        )
+        self.record_remove(victim)
+        return victim
+
+    def _rank(self, key: ObjectId) -> Tuple[int, int]:
+        return (self._counts[key], self._inserted_at[key])
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"LFUPolicy(tracked={len(self._counts)})"

@@ -1,0 +1,49 @@
+"""Least-recently-used eviction."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+
+
+class LRUPolicy:
+    """Classic LRU: evict the key untouched for the longest time.
+
+    One ``OrderedDict`` in recency order (oldest first); accesses move
+    the key to the end, eviction pops the front.  The just-inserted key
+    sits at the recency tail, so it is never the victim while any other
+    key is tracked.
+    """
+
+    name = "lru"
+
+    __slots__ = ("_order",)
+
+    def __init__(self, capacity: int) -> None:
+        del capacity  # recency order needs no sizing
+        self._order: "OrderedDict[ObjectId, None]" = OrderedDict()
+
+    def record_insert(self, key: ObjectId) -> None:
+        self._order[key] = None
+
+    def record_access(self, key: ObjectId) -> None:
+        self._order.move_to_end(key)
+
+    def record_remove(self, key: ObjectId) -> None:
+        self._order.pop(key, None)
+
+    def evict(self) -> ObjectId:
+        if len(self._order) < 2:
+            raise CacheConfigurationError(
+                "lru: evict() needs at least two tracked keys"
+            )
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:
+        return f"LRUPolicy(tracked={len(self._order)})"

@@ -1,0 +1,175 @@
+"""W-TinyLFU: count-min-sketch admission over a windowed LRU.
+
+The TinyLFU insight (Einziger et al., and the `theine` cache this
+package's test battery mirrors): recency-only policies let one-hit
+wonders flush a hot working set, while a tiny approximate frequency
+filter in front of the main space keeps them out.  The shape here is
+the standard W-TinyLFU split:
+
+* a small **window** LRU (~1/10 of capacity, at least one slot)
+  absorbs every new key, giving it a chance to prove itself;
+* the **main** LRU holds the protected working set;
+* a **count-min sketch** with periodic halving ("aging") estimates
+  access frequency; when both segments are full, the window's LRU
+  candidate challenges the main's LRU victim and the *less frequent*
+  of the two is evicted.
+
+Hashing uses :func:`zlib.crc32` over the key bytes with per-row salts,
+not Python's ``hash`` — ``PYTHONHASHSEED`` randomises string hashes
+per process, and sketch estimates must be identical in the parent and
+in sweep worker processes for goldens to pin byte-identical rows.
+
+Simplification vs. the paper: the main space is plain LRU rather than
+segmented LRU; the admission filter, not main-space segmentation, is
+what the capacity scenarios measure.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import List
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import ObjectId
+
+#: Sketch aging period, in increments, per unit of capacity.
+_SAMPLE_FACTOR = 10
+
+
+class CountMinSketch:
+    """Conservative frequency estimation in O(depth) per operation.
+
+    ``depth`` salted CRC32 rows over a power-of-two ``width``; counters
+    halve once ``sample_size`` increments accumulate, so estimates track
+    *recent* popularity instead of all-time totals (the aging scheme
+    TinyLFU's reset mechanism prescribes).
+    """
+
+    __slots__ = ("_rows", "_mask", "_salts", "_additions", "_sample_size")
+
+    def __init__(
+        self, capacity: int, *, depth: int = 4, sample_factor: int = _SAMPLE_FACTOR
+    ) -> None:
+        if capacity <= 0:
+            raise CacheConfigurationError(
+                f"sketch capacity must be positive, got {capacity}"
+            )
+        width = 16
+        while width < capacity:
+            width *= 2
+        self._mask = width - 1
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._salts = tuple(
+            zlib.crc32(bytes([row])) & 0xFFFFFFFF for row in range(depth)
+        )
+        self._additions = 0
+        self._sample_size = max(1, sample_factor * capacity)
+
+    def _indexes(self, key: ObjectId) -> List[int]:
+        data = str(key).encode("utf-8")
+        return [
+            (zlib.crc32(data, salt) & self._mask) for salt in self._salts
+        ]
+
+    def add(self, key: ObjectId) -> None:
+        """Count one access (ages all counters every ``sample_size``)."""
+        for row, index in zip(self._rows, self._indexes(key)):
+            row[index] += 1
+        self._additions += 1
+        if self._additions >= self._sample_size:
+            self._age()
+
+    def estimate(self, key: ObjectId) -> int:
+        """Approximate access count (never underestimates a fresh add)."""
+        return min(
+            row[index] for row, index in zip(self._rows, self._indexes(key))
+        )
+
+    def _age(self) -> None:
+        for row in self._rows:
+            for index, value in enumerate(row):
+                row[index] = value >> 1
+        self._additions = 0
+
+
+class TinyLFUPolicy:
+    """W-TinyLFU: window LRU + frequency-admitted main LRU."""
+
+    name = "tinylfu"
+
+    __slots__ = ("_sketch", "_window", "_main", "_window_cap", "_main_cap")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheConfigurationError(
+                f"tinylfu needs a positive capacity, got {capacity}"
+            )
+        self._window_cap = max(1, capacity // 10)
+        self._main_cap = capacity - self._window_cap
+        self._sketch = CountMinSketch(capacity)
+        self._window: "OrderedDict[ObjectId, None]" = OrderedDict()
+        self._main: "OrderedDict[ObjectId, None]" = OrderedDict()
+
+    def record_insert(self, key: ObjectId) -> None:
+        self._sketch.add(key)
+        self._window[key] = None
+        # While the cache is under capacity the window overflow simply
+        # spills into free main space; contention starts when evict()
+        # is called.
+        while (
+            len(self._window) > self._window_cap
+            and len(self._main) < self._main_cap
+        ):
+            spilled, _ = self._window.popitem(last=False)
+            self._main[spilled] = None
+
+    def record_access(self, key: ObjectId) -> None:
+        self._sketch.add(key)
+        if key in self._window:
+            self._window.move_to_end(key)
+        elif key in self._main:
+            self._main.move_to_end(key)
+
+    def record_remove(self, key: ObjectId) -> None:
+        self._window.pop(key, None)
+        self._main.pop(key, None)
+
+    def evict(self) -> ObjectId:
+        """Resolve the window-candidate vs. main-victim contest.
+
+        The window LRU is the candidate; it enters main only if the
+        sketch says it is strictly more popular than main's own LRU,
+        which is otherwise retained (the admission filter).  The
+        just-inserted key is the window MRU, so with two tracked keys
+        somewhere it is never the loser.
+        """
+        if len(self._window) + len(self._main) < 2:
+            raise CacheConfigurationError(
+                "tinylfu: evict() needs at least two tracked keys"
+            )
+        if not self._window:
+            victim, _ = self._main.popitem(last=False)
+            return victim
+        if len(self._window) <= self._window_cap and self._main:
+            # Window is within budget: the overflow is in main.
+            victim, _ = self._main.popitem(last=False)
+            return victim
+        candidate, _ = self._window.popitem(last=False)
+        if not self._main:
+            return candidate
+        victim = next(iter(self._main))
+        if self._sketch.estimate(candidate) > self._sketch.estimate(victim):
+            del self._main[victim]
+            self._main[candidate] = None
+            return victim
+        return candidate
+
+    def __len__(self) -> int:
+        return len(self._window) + len(self._main)
+
+    def __repr__(self) -> str:
+        return (
+            f"TinyLFUPolicy(window={len(self._window)}/{self._window_cap}, "
+            f"main={len(self._main)}/{self._main_cap})"
+        )

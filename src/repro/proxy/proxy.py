@@ -67,6 +67,8 @@ class ProxyCache:
         self._kernel = kernel
         self._network = network
         self._cache = cache if cache is not None else ObjectCache()
+        # Eviction windows carry simulation timestamps.
+        self._cache.bind_clock(kernel.now)
         self._want_history = want_history
         # Normalise a disabled log to None: event records are built per
         # poll, and a disabled log would discard them after the fact —
@@ -168,6 +170,20 @@ class ProxyCache:
         if entry is None:
             raise UnknownObjectError(str(object_id), where="proxy cache")
         return entry
+
+    def entry_or_none(self, object_id: ObjectId) -> Optional[CacheEntry]:
+        """Like :meth:`entry_for`, but evicted objects yield ``None``.
+
+        A bounded cache can have dropped an object by end of run; the
+        metrics collectors must distinguish "evicted, history gone" from
+        "never registered" (still an :class:`UnknownObjectError`).
+        """
+        entry = self._cache.get(object_id, touch=False)
+        if entry is not None:
+            return entry
+        if self._cache.was_evicted(object_id):
+            return None
+        raise UnknownObjectError(str(object_id), where="proxy cache")
 
     def registered_objects(self) -> List[ObjectId]:
         return list(self._refreshers)

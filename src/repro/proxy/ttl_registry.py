@@ -1,0 +1,87 @@
+"""Per-object-class TTL registry.
+
+Operational caches rarely give every object the same freshness budget:
+a stock quote and a logo image deserve different TTLs.  The registry
+maps *object classes* (arbitrary labels: ``"news"``, ``"static"``,
+``"quotes"``) to declared TTLs, with a default for everything else —
+the lookup discipline of ops-cache TTL tables (a ``get_ttl`` that
+answers for unknown endpoints with the default, never a KeyError).
+
+Used by :func:`repro.api.builder.run_simulation` to give TTL-classed
+objects a ``static_ttl`` refresh policy override while the rest of the
+population keeps the scenario's main policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.types import Seconds
+
+
+class TTLClassRegistry:
+    """Class label → TTL lookup with a catch-all default.
+
+    Args:
+        classes: Declared TTL (seconds) per class label.
+        default_ttl: TTL for unknown or empty classes; ``None`` means
+            unclassified objects have no TTL (callers fall back to the
+            scenario's main consistency policy).
+    """
+
+    __slots__ = ("_classes", "_default")
+
+    def __init__(
+        self,
+        classes: Optional[Mapping[str, Seconds]] = None,
+        default_ttl: Optional[Seconds] = None,
+    ) -> None:
+        validated: Dict[str, Seconds] = {}
+        for label, ttl in (classes or {}).items():
+            if not label:
+                raise CacheConfigurationError("TTL class labels must be non-empty")
+            if ttl <= 0:
+                raise CacheConfigurationError(
+                    f"TTL for class {label!r} must be positive, got {ttl}"
+                )
+            validated[label] = float(ttl)
+        if default_ttl is not None and default_ttl <= 0:
+            raise CacheConfigurationError(
+                f"default TTL must be positive or None, got {default_ttl}"
+            )
+        self._classes = validated
+        self._default = None if default_ttl is None else float(default_ttl)
+
+    @property
+    def default_ttl(self) -> Optional[Seconds]:
+        return self._default
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        """Declared class labels, in declaration order."""
+        return tuple(self._classes)
+
+    def get_ttl(self, object_class: Optional[str]) -> Optional[Seconds]:
+        """TTL for a class: declared value if known, default otherwise.
+
+        Unknown labels and empty/None labels both fall through to the
+        default — a lookup never raises.
+        """
+        if object_class:
+            declared = self._classes.get(object_class)
+            if declared is not None:
+                return declared
+        return self._default
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __contains__(self, object_class: object) -> bool:
+        return object_class in self._classes
+
+    def __repr__(self) -> str:
+        return (
+            f"TTLClassRegistry(classes={len(self._classes)}, "
+            f"default={self._default})"
+        )

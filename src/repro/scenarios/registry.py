@@ -28,7 +28,7 @@ Point functions must be module-level (pickling requirement, exactly as
 for :mod:`repro.experiments.sweep` row builders).
 
 Lookup goes through :data:`SCENARIOS`, a
-:class:`repro.api.registries.Registry` shared with the consistency and
+:class:`repro.core.registry.Registry` shared with the consistency and
 workload-source registries (``SCENARIOS.get(name)``,
 ``SCENARIOS.names()``).  The historical module-level lookup functions
 (``get_scenario`` / ``scenario_names`` / ``list_scenarios``) remain as
@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.api.deprecation import warn_deprecated
-from repro.api.registries import Registry
+from repro.core.registry import Registry
 from repro.core.errors import ReproError
 from repro.scenarios.spec import AxisValue, ScenarioSpec
 
@@ -99,6 +99,7 @@ def _load_builtins() -> None:
     # listing aesthetics (builtin paper scenarios first).
     import repro.scenarios.builtin  # noqa: F401
     import repro.scenarios.families  # noqa: F401
+    import repro.scenarios.capacity  # noqa: F401
 
 
 #: The scenario registry: ``SCENARIOS.get(name)`` resolves one entry,

@@ -73,6 +73,17 @@ TINY_CONFIGS: Dict[str, TinyConfig] = {
         },
     ),
     "hybrid_push_pull": TinyConfig(values=(1.0, 30.0), params={"edge_count": 2}),
+    "capacity_edge": TinyConfig(
+        values=(2, 8),
+        params={
+            "objects": 4,
+            "fan_out": 2,
+            "total_updates": 120,
+            "hours": 6.0,
+            "surge_start_hour": 3.0,
+        },
+    ),
+    "ttl_class_mix": TinyConfig(values=(2.0, 30.0)),
 }
 
 

@@ -40,6 +40,7 @@ from repro.core.errors import UnknownObjectError
 from repro.core.events import PollReason
 from repro.core.types import ObjectId, PollOutcome, Seconds
 from repro.httpsim.network import Network
+from repro.proxy.cache import ObjectCache
 from repro.proxy.proxy import ProxyCache
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import EventLog
@@ -61,6 +62,9 @@ NodeNamer = Callable[[int, int], str]
 LinkLabeler = Callable[[int, int], str]
 #: Resolves a link label to the RNG jitter draws on that link use.
 LinkRngFactory = Callable[[str], Optional[random.Random]]
+#: Builds a node's cache from its (level, index); ``None`` entries fall
+#: back to the proxy's default unbounded cache.
+CacheFactory = Callable[[int, int], Optional[ObjectCache]]
 
 
 def _default_namer(level: int, index: int) -> str:
@@ -168,6 +172,11 @@ class TopologyTree:
             keep historical names (``proxy``, ``edge-{i}``) stable.
         link_labeler: Labels upstream links from (level, index) for RNG
             derivation; defaults to ``network.L{level}.N{index}``.
+        cache_factory: Builds each node's
+            :class:`~repro.proxy.cache.ObjectCache` from (level, index)
+            — bounded edge caches in an otherwise unbounded tree, say.
+            ``None`` (default, and a legal per-node return value) means
+            an unbounded cache.
 
     Example:
         >>> from repro.core.types import ObjectId
@@ -199,6 +208,7 @@ class TopologyTree:
         link_rng: LinkRngFactory = _no_link_rng,
         node_namer: NodeNamer = _default_namer,
         link_labeler: LinkLabeler = _default_link_labeler,
+        cache_factory: Optional[CacheFactory] = None,
     ) -> None:
         if not levels:
             raise TopologyError("a topology tree needs at least one level")
@@ -230,6 +240,11 @@ class TopologyTree:
                         ProxyCache(
                             kernel,
                             network,
+                            cache=(
+                                cache_factory(level_number, index)
+                                if cache_factory is not None
+                                else None
+                            ),
                             want_history=want_history,
                             event_log=event_log,
                             name=node_namer(level_number, index),

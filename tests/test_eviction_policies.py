@@ -1,0 +1,413 @@
+"""Cross-policy eviction battery plus eviction × consistency properties.
+
+Modeled on the theine/caffeine style of cache testing: one parametrized
+battery drives every registered eviction policy (``lru``, ``lfu``,
+``tinylfu``, ``clockpro``) through the same bounded-Zipf workload and
+asserts the invariants the proxy depends on — the capacity bound, the
+bookkeeping identities, the never-evict-the-just-inserted-key rule, and
+bit-for-bit determinism.  Policy-specific sections pin the LFU
+insertion-order tie-break (regression for the old accidental recency
+tie-break) and TinyLFU's admission advantage on skewed workloads.
+
+Hypothesis sections cover the eviction × consistency bridge: an
+evict→refetch cycle must reset the poll history (the refetched entry
+starts with an empty fetch log) and :func:`collect_eviction_impact`
+must flag exactly the absence windows whose origin updates went
+unserved for longer than Δ.  The TTL-class registry's ops-table lookup
+contract (declared TTL for known classes, default for unknown/empty,
+never a KeyError) is pinned the same way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CacheConfigurationError
+from repro.core.events import PollReason
+from repro.core.types import ObjectId, ObjectSnapshot, Seconds
+from repro.metrics.collector import collect_eviction_impact
+from repro.proxy.cache import ObjectCache
+from repro.proxy.entry import CacheEntry
+from repro.proxy.eviction import EVICTION_POLICIES, build_eviction_policy
+from repro.proxy.ttl_registry import TTLClassRegistry
+from repro.traces.model import trace_from_times
+
+POLICIES = ("lru", "lfu", "tinylfu", "clockpro")
+
+
+def zipf_stream(
+    *, keys: int, ops: int, exponent: float, seed: int
+) -> List[str]:
+    """A deterministic Zipf-distributed key stream."""
+    rng = random.Random(seed)
+    population = [f"k{i}" for i in range(keys)]
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(keys)]
+    return rng.choices(population, weights=weights, k=ops)
+
+
+def drive(
+    cache: ObjectCache, stream: List[str]
+) -> Tuple[int, List[Optional[ObjectId]]]:
+    """Replay a key stream against a cache: get, insert on miss.
+
+    Returns the hit count and the per-insert victim sequence (``None``
+    when an insert fit without eviction).
+    """
+    hits = 0
+    victims: List[Optional[ObjectId]] = []
+    for key in stream:
+        object_id = ObjectId(key)
+        if cache.get(object_id) is not None:
+            hits += 1
+            continue
+        evicted = cache.put(CacheEntry(object_id))
+        victims.append(evicted.object_id if evicted is not None else None)
+    return hits, victims
+
+
+class TestRegistry:
+    def test_all_four_policies_registered(self):
+        for name in POLICIES:
+            assert name in EVICTION_POLICIES
+
+    def test_build_rejects_nonpositive_capacity(self):
+        with pytest.raises(CacheConfigurationError):
+            build_eviction_policy("lru", 0)
+
+    def test_build_rejects_unknown_name(self):
+        with pytest.raises(CacheConfigurationError):
+            build_eviction_policy("fifo", 4)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestCrossPolicyBattery:
+    """Every policy, same bounded-Zipf workload, same invariants."""
+
+    CAPACITY = 8
+    STREAM = dict(keys=64, ops=2000, exponent=1.1, seed=99)
+
+    def test_capacity_never_exceeded(self, policy):
+        cache = ObjectCache(capacity=self.CAPACITY, eviction=policy)
+        for key in zipf_stream(**self.STREAM):
+            object_id = ObjectId(key)
+            if cache.get(object_id) is None:
+                cache.put(CacheEntry(object_id))
+            assert len(cache) <= self.CAPACITY
+
+    def test_eviction_bookkeeping_identities(self, policy):
+        cache = ObjectCache(capacity=self.CAPACITY, eviction=policy)
+        _, victims = drive(cache, zipf_stream(**self.STREAM))
+        evictions = [v for v in victims if v is not None]
+        inserts = len(victims)
+        assert cache.eviction_count == len(evictions)
+        assert len(cache.eviction_windows) == len(evictions)
+        assert len(cache) == inserts - len(evictions)
+        # Windows and refetch counter agree: a window is closed iff the
+        # object re-entered the cache afterwards.
+        closed = sum(1 for w in cache.eviction_windows if w.closed)
+        assert cache.refetch_after_evict_count == closed
+        for victim in evictions:
+            assert cache.was_evicted(victim)
+
+    def test_just_inserted_key_is_never_the_victim(self, policy):
+        cache = ObjectCache(capacity=self.CAPACITY, eviction=policy)
+        for key in zipf_stream(**self.STREAM):
+            object_id = ObjectId(key)
+            if cache.get(object_id) is not None:
+                continue
+            evicted = cache.put(CacheEntry(object_id))
+            if evicted is not None:
+                assert evicted.object_id != object_id
+            assert object_id in cache
+
+    def test_victim_sequence_deterministic_under_fixed_seed(self, policy):
+        stream = zipf_stream(**self.STREAM)
+        runs = []
+        for _ in range(2):
+            cache = ObjectCache(capacity=self.CAPACITY, eviction=policy)
+            hits, victims = drive(cache, stream)
+            runs.append((hits, victims))
+        assert runs[0] == runs[1]
+
+    def test_capacity_one_single_resident(self, policy):
+        cache = ObjectCache(capacity=1, eviction=policy)
+        a, b = ObjectId("a"), ObjectId("b")
+        assert cache.put(CacheEntry(a)) is None
+        evicted = cache.put(CacheEntry(b))
+        assert evicted is not None and evicted.object_id == a
+        assert list(cache) == [b]
+
+    def test_remove_untracks_key(self, policy):
+        cache = ObjectCache(capacity=2, eviction=policy)
+        a, b, c = ObjectId("a"), ObjectId("b"), ObjectId("c")
+        cache.put(CacheEntry(a))
+        cache.put(CacheEntry(b))
+        removed = cache.remove(a)
+        assert removed is not None and removed.object_id == a
+        # The freed slot absorbs the next insert without eviction, and
+        # removal (unlike eviction) opens no absence window.
+        assert cache.put(CacheEntry(c)) is None
+        assert cache.eviction_count == 0
+        assert not cache.was_evicted(a)
+
+
+class TestTinyLFUAdmission:
+    def test_tinylfu_beats_lru_hit_rate_on_skewed_zipf(self):
+        stream = zipf_stream(keys=200, ops=8000, exponent=1.2, seed=7)
+        rates = {}
+        for policy in ("lru", "tinylfu"):
+            cache = ObjectCache(capacity=10, eviction=policy)
+            hits, _ = drive(cache, stream)
+            rates[policy] = hits / len(stream)
+        assert rates["tinylfu"] >= rates["lru"]
+
+    def test_one_hit_wonders_do_not_displace_the_hot_set(self):
+        """A scan of cold keys must not flush still-active residents.
+
+        Hot traffic continues during the scan (pure abandonment would
+        legitimately decay the hot set out via sketch aging); each cold
+        key is seen exactly once, so admission should reject it in the
+        contest against any still-popular main resident.
+        """
+        cache = ObjectCache(capacity=10, eviction="tinylfu")
+        hot = [ObjectId(f"hot{i}") for i in range(8)]
+        for object_id in hot:
+            cache.put(CacheEntry(object_id))
+        for _ in range(50):
+            for object_id in hot:
+                assert cache.get(object_id) is not None
+        for i in range(500):
+            assert cache.get(hot[i % len(hot)]) is not None
+            scan_id = ObjectId(f"scan{i}")
+            if cache.get(scan_id) is None:
+                cache.put(CacheEntry(scan_id))
+        surviving = sum(
+            1 for object_id in hot if cache.get(object_id, touch=False)
+        )
+        assert surviving == len(hot)
+
+
+class TestLFUTieBreak:
+    """Regression: equal counts break by insertion order, nothing else."""
+
+    def test_equal_counts_evict_oldest_insertion(self):
+        cache = ObjectCache(capacity=3, eviction="lfu")
+        a, b, c, d = (ObjectId(k) for k in "abcd")
+        for object_id in (a, b, c):
+            cache.put(CacheEntry(object_id))
+        evicted = cache.put(CacheEntry(d))
+        assert evicted is not None and evicted.object_id == a
+
+    def test_access_breaks_out_of_the_tie(self):
+        cache = ObjectCache(capacity=3, eviction="lfu")
+        a, b, c, d, e = (ObjectId(k) for k in "abcde")
+        for object_id in (a, b, c):
+            cache.put(CacheEntry(object_id))
+        cache.put(CacheEntry(d))  # evicts a (oldest of the count ties)
+        cache.get(b)  # b now outranks the remaining count-0 keys
+        evicted = cache.put(CacheEntry(e))
+        assert evicted is not None and evicted.object_id == c
+
+    def test_reinsertion_gets_a_fresh_sequence_number(self):
+        cache = ObjectCache(capacity=3, eviction="lfu")
+        a, b, c, d = (ObjectId(k) for k in "abcd")
+        for object_id in (a, b, c):
+            cache.put(CacheEntry(object_id))
+        cache.put(CacheEntry(d))  # evicts a
+        cache.get(b)
+        cache.get(c)
+        evicted = cache.put(CacheEntry(a))  # a returns, newest again
+        # d (count 0) loses; the returning a is exempt as just-inserted.
+        assert evicted is not None and evicted.object_id == d
+
+
+class _ManualClock:
+    """A settable clock for driving EvictionWindow timestamps."""
+
+    def __init__(self) -> None:
+        self.now: Seconds = 0.0
+
+    def __call__(self) -> Seconds:
+        return self.now
+
+
+class _CacheHolder:
+    """Duck-typed stand-in for a proxy: just enough for the collector."""
+
+    def __init__(self, cache: ObjectCache) -> None:
+        self.cache = cache
+
+
+def _snapshot(object_id: ObjectId, time: Seconds) -> ObjectSnapshot:
+    return ObjectSnapshot(
+        object_id=object_id, version=1, last_modified=time
+    )
+
+
+class TestEvictRefetchProperties:
+    """Hypothesis: the evict→refetch cycle vs the staleness bound."""
+
+    @given(
+        polls_before=st.integers(min_value=1, max_value=8),
+        evicted_at=st.floats(min_value=10.0, max_value=1e4),
+        gap=st.floats(min_value=0.5, max_value=1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refetch_resets_poll_history(self, polls_before, evicted_at, gap):
+        """The refetched entry starts with an empty fetch log."""
+        cache = ObjectCache(capacity=1, eviction="lru")
+        clock = _ManualClock()
+        cache.bind_clock(clock)
+        a, b = ObjectId("a"), ObjectId("b")
+        entry = CacheEntry(a)
+        for i in range(polls_before):
+            entry.record_fetch(
+                float(i),
+                _snapshot(a, float(i)),
+                modified=True,
+                reason=PollReason.TTR_EXPIRED,
+            )
+        cache.put(entry)
+        assert cache.get(a).poll_count == polls_before
+        clock.now = evicted_at
+        evicted = cache.put(CacheEntry(b))  # displaces a
+        assert evicted is not None and evicted.object_id == a
+        assert evicted.poll_count == polls_before  # history left with it
+        clock.now = evicted_at + gap
+        cache.put(CacheEntry(a))  # the refetch
+        refetched = cache.get(a, touch=False)
+        assert refetched is not None
+        assert refetched.poll_count == 0
+        # Re-putting a into the full cache displaced b, opening b's own
+        # (still-open) window; a's is the first.
+        window = cache.eviction_windows[0]
+        assert window.object_id == a
+        assert window.closed
+        assert window.refetched_at == pytest.approx(evicted_at + gap)
+        assert cache.refetch_after_evict_count == 1
+
+    @given(
+        evicted_at=st.floats(min_value=100.0, max_value=1e4),
+        gap=st.floats(min_value=1.0, max_value=1e4),
+        # Strictly inside the window: updates_in() is (start, end], so an
+        # update at the eviction instant itself belongs to the previous
+        # poll interval, not the absence window.
+        update_frac=st.floats(min_value=0.25, max_value=1.0),
+        delta=st.floats(min_value=0.5, max_value=1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_violation_flagged_iff_update_unserved_longer_than_delta(
+        self, evicted_at, gap, update_frac, delta
+    ):
+        """The collector's violation rule, checked against first principles.
+
+        One update lands inside the absence window; the window closes
+        with a refetch ``gap`` seconds after eviction.  The bound is
+        violated iff the refetch came more than Δ after the update.
+        """
+        cache = ObjectCache(capacity=1, eviction="lru")
+        clock = _ManualClock()
+        cache.bind_clock(clock)
+        a, b = ObjectId("a"), ObjectId("b")
+        cache.put(CacheEntry(a))
+        clock.now = evicted_at
+        cache.put(CacheEntry(b))
+        refetched_at = evicted_at + gap
+        clock.now = refetched_at
+        cache.put(CacheEntry(a))
+
+        update_time = evicted_at + update_frac * gap
+        trace = trace_from_times(
+            a, [update_time], end_time=refetched_at + 10.0
+        )
+        impact = collect_eviction_impact(
+            _CacheHolder(cache), trace, delta  # type: ignore[arg-type]
+        )
+        assert impact.evictions == 1
+        assert impact.refetches_after_evict == 1
+        assert impact.absent_time == pytest.approx(gap)
+        expected = refetched_at - update_time > delta
+        assert impact.staleness_violations == (1 if expected else 0)
+
+    @given(
+        evicted_at=st.floats(min_value=100.0, max_value=1e4),
+        horizon_gap=st.floats(min_value=1.0, max_value=1e4),
+        delta=st.floats(min_value=0.5, max_value=1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_open_window_scored_at_the_horizon(
+        self, evicted_at, horizon_gap, delta
+    ):
+        """Never-refetched objects clip their absence at the horizon."""
+        cache = ObjectCache(capacity=1, eviction="lru")
+        clock = _ManualClock()
+        cache.bind_clock(clock)
+        a, b = ObjectId("a"), ObjectId("b")
+        cache.put(CacheEntry(a))
+        clock.now = evicted_at
+        cache.put(CacheEntry(b))
+
+        horizon = evicted_at + horizon_gap
+        update_time = evicted_at + 0.5 * horizon_gap
+        trace = trace_from_times(a, [update_time], end_time=horizon)
+        impact = collect_eviction_impact(
+            _CacheHolder(cache), trace, delta, horizon=horizon  # type: ignore[arg-type]
+        )
+        assert impact.refetches_after_evict == 0
+        assert impact.absent_time == pytest.approx(horizon_gap)
+        expected = horizon - update_time > delta
+        assert impact.staleness_violations == (1 if expected else 0)
+
+
+_labels = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=12,
+)
+_ttls = st.floats(min_value=1e-3, max_value=1e6)
+
+
+class TestTTLClassRegistryProperties:
+    """Hypothesis: the ops-table ``get_ttl`` lookup contract."""
+
+    @given(
+        classes=st.dictionaries(_labels, _ttls, max_size=8),
+        default=st.one_of(st.none(), _ttls),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_known_classes_return_declared_ttl(self, classes, default):
+        registry = TTLClassRegistry(classes, default_ttl=default)
+        for label, ttl in classes.items():
+            assert registry.get_ttl(label) == pytest.approx(float(ttl))
+            assert label in registry
+        assert len(registry) == len(classes)
+
+    @given(
+        classes=st.dictionaries(_labels, _ttls, max_size=8),
+        default=st.one_of(st.none(), _ttls),
+        unknown=_labels,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_unknown_and_empty_classes_fall_back_to_default(
+        self, classes, default, unknown
+    ):
+        registry = TTLClassRegistry(classes, default_ttl=default)
+        expected = None if default is None else pytest.approx(float(default))
+        if unknown not in classes:
+            assert registry.get_ttl(unknown) == expected
+        assert registry.get_ttl("") == expected
+        assert registry.get_ttl(None) == expected
+
+
+class TestSerialVsWorkersByteIdentical:
+    def test_capacity_edge_tiny_rows_match_across_workers(self):
+        from repro.scenarios.smoke import canonical_rows, run_tiny
+
+        serial = run_tiny("capacity_edge")
+        parallel = run_tiny("capacity_edge", workers=2)
+        assert canonical_rows(serial.rows) == canonical_rows(parallel.rows)

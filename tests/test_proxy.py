@@ -9,7 +9,7 @@ from repro.core.errors import CacheConfigurationError, UnknownObjectError
 from repro.core.events import PollEvent, PollReason
 from repro.core.types import ObjectId
 from repro.httpsim.network import LatencyModel, Network
-from repro.proxy.cache import EvictionPolicy, ObjectCache
+from repro.proxy.cache import ObjectCache
 from repro.proxy.client import Client
 from repro.proxy.entry import CacheEntry
 from repro.proxy.proxy import ProxyCache
@@ -83,7 +83,7 @@ class TestObjectCache:
         assert cache.eviction_count == 0
 
     def test_lru_evicts_least_recently_used(self):
-        cache = ObjectCache(capacity=2, eviction=EvictionPolicy.LRU)
+        cache = ObjectCache(capacity=2, eviction="lru")
         cache.put(CacheEntry(ObjectId("a")))
         cache.put(CacheEntry(ObjectId("b")))
         cache.get(ObjectId("a"))  # touch a → b is LRU
@@ -92,7 +92,7 @@ class TestObjectCache:
         assert ObjectId("a") in cache and ObjectId("c") in cache
 
     def test_lfu_evicts_least_frequently_used(self):
-        cache = ObjectCache(capacity=2, eviction=EvictionPolicy.LFU)
+        cache = ObjectCache(capacity=2, eviction="lfu")
         cache.put(CacheEntry(ObjectId("a")))
         cache.put(CacheEntry(ObjectId("b")))
         for _ in range(3):
