@@ -26,7 +26,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
+    from repro.sim.kernel import Kernel
+    from repro.sim.tracing import EventLog
+    from repro.topology.sharding import ShardSelection
 
 from repro.api.config import (
     CacheConfig,
@@ -71,6 +85,13 @@ RESULT_COLUMNS: Tuple[str, ...] = (
     "refetch_after_evict",
     "staleness_violations",
 )
+
+#: A hook run on the live tree after registration, before the run — the
+#: seam load drivers (e.g. the scale benchmark's client pumps) use to
+#: attach extra event sources.  Sharded execution pickles the hook to
+#: worker processes, so it must be a module-level function or a
+#: ``functools.partial`` over one.
+TreeInstrument = Callable[[TopologyTree], None]
 
 
 @dataclass
@@ -266,12 +287,126 @@ def _resolve_horizon(
     return horizon
 
 
+def _check_fastforward(config: SimulationConfig) -> None:
+    """Reject fast-forward configs with latent links up front.
+
+    The analytic engine requires polls to complete inline (see
+    :mod:`repro.sim.fastforward`); a latent link would surface later as
+    a :class:`~repro.core.errors.SimulationError` mid-build, so the
+    config error is raised here before any simulation state exists.
+    """
+    if config.fidelity != "fastforward":
+        return
+
+    def latent(network: NetworkConfig) -> bool:
+        return network.one_way_latency_s != 0 or network.jitter_s != 0
+
+    if config.topology.kind == "tree":
+        bad = any(
+            latent(
+                level.network
+                if level.network is not None
+                else config.network
+            )
+            for level in config.topology.levels
+        )
+    else:
+        bad = latent(config.network)
+    if bad:
+        raise SimulationConfigError(
+            'fidelity="fastforward" requires synchronous links: every '
+            "level must have zero one-way latency and zero jitter"
+        )
+
+
+def _run_to_horizon(
+    config: SimulationConfig,
+    kernel: "Kernel",
+    tree: TopologyTree,
+    horizon: float,
+) -> None:
+    """Advance the built simulation to its horizon.
+
+    ``fidelity="exact"`` steps the kernel event by event;
+    ``"fastforward"`` routes through the analytic engine, which
+    produces byte-identical observable histories (see
+    :mod:`repro.sim.fastforward` for the two documented exceptions).
+    """
+    if config.fidelity == "fastforward":
+        from repro.sim.fastforward import FastForwardEngine
+
+        engine = FastForwardEngine(
+            kernel, [node.proxy for node in tree.nodes]
+        )
+        try:
+            engine.run(horizon)
+        finally:
+            engine.close()
+    else:
+        kernel.run(until=horizon)
+
+
+#: Result rows keyed by their node's ``(level, index)`` — the sort key
+#: sharded execution merges on.
+KeyedRows = List[Tuple[Tuple[int, int], List[Dict[str, object]]]]
+
+
+def _keyed_tree_rows(
+    tree: TopologyTree,
+    traces: Sequence[UpdateTrace],
+    delta: Optional[float],
+    horizon: float,
+    owns: Optional["frozenset[Tuple[int, int]]"] = None,
+) -> KeyedRows:
+    """Result rows per tree node, keyed by ``(level, index)``.
+
+    The key is the merge key for sharded execution: shards return
+    disjoint keyed row lists and the merged table sorts by key, which
+    reproduces the serial ``tree.nodes`` traversal order exactly.
+    ``owns`` restricts collection to a shard's owned nodes (a node
+    registered only as another shard's ancestor replica must not be
+    scored twice).
+    """
+    keyed: KeyedRows = []
+    for node in tree.nodes:
+        key = (node.level, node.index)
+        if owns is not None and key not in owns:
+            continue
+        # Level-0 nodes track the origin itself and score at poll
+        # times; deeper nodes refresh to parent-current (possibly
+        # stale) state and are scored from the snapshots actually held.
+        keyed.append(
+            (
+                key,
+                _node_rows(
+                    node.name,
+                    node.proxy,
+                    traces,
+                    delta,
+                    horizon=horizon,
+                    snapshots=node.level > 0,
+                ),
+            )
+        )
+    return keyed
+
+
 def _run_tree(
     config: SimulationConfig,
     traces: Sequence[UpdateTrace],
     policy_factory: PolicyFactory,
-) -> SimulationOutcome:
-    """The ``tree`` execution path: one TopologyTree, rows per node."""
+    *,
+    selection: Optional["ShardSelection"] = None,
+    instrument: Optional[TreeInstrument] = None,
+) -> Tuple[SimulationOutcome, KeyedRows]:
+    """The ``tree`` execution path: one TopologyTree, rows per node.
+
+    Returns the outcome plus its rows keyed by ``(level, index)`` —
+    the merge key sharded execution sorts on.  ``selection`` (sharded
+    execution only) restricts object registration to the shard's cone
+    and row collection to its owned nodes; ``instrument`` runs on the
+    live tree after registration, before the clock starts.
+    """
     default_latency = _latency_of(config.network)
     level_configs: Sequence[LevelConfig] = config.topology.levels
     levels = tuple(
@@ -319,32 +454,28 @@ def _run_tree(
     def level_policy(level: int, object_id: ObjectId) -> RefreshPolicy:
         return level_factories[level](object_id)
 
+    node_filter = selection.node_filter if selection is not None else None
     for trace in traces:
-        tree.register_object(trace.object_id, level_policy)
+        tree.register_object(
+            trace.object_id, level_policy, node_filter=node_filter
+        )
+    if instrument is not None:
+        instrument(tree)
 
     horizon = _resolve_horizon(config, traces, levels)
-    kernel.run(until=horizon)
+    _run_to_horizon(config, kernel, tree, horizon)
 
-    delta = config.fidelity_delta_s
+    owns = selection.owns if selection is not None else None
+    keyed = _keyed_tree_rows(
+        tree, traces, config.fidelity_delta_s, horizon, owns
+    )
     rows: List[Dict[str, object]] = []
-    for node in tree.nodes:
-        # Level-0 nodes track the origin itself and score at poll
-        # times; deeper nodes refresh to parent-current (possibly
-        # stale) state and are scored from the snapshots actually held.
-        rows.extend(
-            _node_rows(
-                node.name,
-                node.proxy,
-                traces,
-                delta,
-                horizon=horizon,
-                snapshots=node.level > 0,
-            )
-        )
+    for _key, node_rows in keyed:
+        rows.extend(node_rows)
     edges = (
         [node.proxy for node in tree.edge_nodes] if tree.depth > 1 else []
     )
-    return SimulationOutcome(
+    outcome = SimulationOutcome(
         config=config,
         run=RunResult(
             kernel=kernel,
@@ -357,21 +488,70 @@ def _run_tree(
         edges=edges,
         tree=tree,
     )
+    return outcome, keyed
 
 
-def run_simulation(config: SimulationConfig) -> SimulationOutcome:
-    """Execute one :class:`SimulationConfig` end to end.
+def _run_tree_config(
+    config: SimulationConfig,
+    *,
+    selection: Optional["ShardSelection"] = None,
+    instrument: Optional[TreeInstrument] = None,
+) -> Tuple[SimulationOutcome, KeyedRows]:
+    """Resolve and execute one ``tree`` config (sharding's entry point).
 
-    Deterministic in ``config.seed``; raises
-    :class:`~repro.api.config.SimulationConfigError` for unresolvable
-    sources, policies, or object keys before any simulation starts.
+    Identical to the ``tree`` branch of :func:`run_simulation`, but
+    exposes the shard ``selection`` seam and returns the keyed rows a
+    shard worker ships back for the deterministic merge.
     """
     traces = resolve_workload(config.workload, config.seed)
     policy_factory = _with_ttl_classes(
         _policy_factory(config.policy), config.cache
     )
+    return _run_tree(
+        config,
+        traces,
+        policy_factory,
+        selection=selection,
+        instrument=instrument,
+    )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    *,
+    workers: Optional[int] = None,
+    instrument: Optional[TreeInstrument] = None,
+) -> SimulationOutcome:
+    """Execute one :class:`SimulationConfig` end to end.
+
+    Deterministic in ``config.seed``; raises
+    :class:`~repro.api.config.SimulationConfigError` for unresolvable
+    sources, policies, or object keys before any simulation starts.
+
+    ``workers`` is consumed only by sharded configs
+    (``config.shards > 1``): the number of worker processes executing
+    shard partitions (``None``: one per shard).  ``instrument`` (tree
+    topologies only) runs on each live tree after registration —
+    under sharding it is pickled to worker processes, so it must be a
+    module-level callable or a :class:`functools.partial` over one.
+    """
+    _check_fastforward(config)
+    if instrument is not None and config.topology.kind != "tree":
+        raise SimulationConfigError(
+            "instrument hooks require the 'tree' topology, "
+            f"got {config.topology.kind!r}"
+        )
+    if config.shards > 1:
+        from repro.topology.sharding import run_sharded
+
+        return run_sharded(config, workers=workers, instrument=instrument)
     if config.topology.kind == "tree":
-        return _run_tree(config, traces, policy_factory)
+        outcome, _keyed = _run_tree_config(config, instrument=instrument)
+        return outcome
+    traces = resolve_workload(config.workload, config.seed)
+    policy_factory = _with_ttl_classes(
+        _policy_factory(config.policy), config.cache
+    )
     latency = _latency_of(config.network)
 
     def _link_rng(name: str) -> Optional[random.Random]:
@@ -420,7 +600,7 @@ def run_simulation(config: SimulationConfig) -> SimulationOutcome:
         )
 
     horizon = _resolve_horizon(config, traces, levels)
-    kernel.run(until=horizon)
+    _run_to_horizon(config, kernel, tree, horizon)
 
     edges = [node.proxy for node in tree.edge_nodes] if hierarchy else []
     delta = config.fidelity_delta_s
@@ -619,10 +799,29 @@ class SimulationBuilder:
         self._config = replace(self._config, log_events=enabled)
         return self
 
+    def fidelity(self, mode: str) -> "SimulationBuilder":
+        """Select the execution fidelity (``exact`` or ``fastforward``).
+
+        ``fastforward`` advances analytically through event-free
+        intervals; observable histories stay byte-identical to
+        ``exact`` (see :mod:`repro.sim.fastforward`).
+        """
+        self._config = replace(self._config, fidelity=mode)
+        return self
+
+    def shards(self, count: int) -> "SimulationBuilder":
+        """Partition a ``tree`` run across ``count`` shard processes."""
+        self._config = replace(self._config, shards=count)
+        return self
+
     def build(self) -> SimulationConfig:
         """The validated, serializable configuration built so far."""
         return self._config
 
-    def run(self) -> SimulationOutcome:
-        """Build and execute in one step."""
-        return run_simulation(self.build())
+    def run(self, *, workers: Optional[int] = None) -> SimulationOutcome:
+        """Build and execute in one step.
+
+        ``workers`` caps the worker processes of a sharded run; it is
+        ignored (and harmless) for unsharded configs.
+        """
+        return run_simulation(self.build(), workers=workers)

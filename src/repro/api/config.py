@@ -41,6 +41,11 @@ C = TypeVar("C", bound="_ConfigBase")
 #: Topology kinds the assembly layer understands.
 TOPOLOGY_KINDS = ("single", "hierarchy", "tree")
 
+#: Execution fidelities: ``exact`` dispatches every timer event;
+#: ``fastforward`` advances analytically through event-free intervals
+#: (:mod:`repro.sim.fastforward`) with byte-identical result rows.
+FIDELITY_MODES = ("exact", "fastforward")
+
 
 class SimulationConfigError(ReproError):
     """A simulation configuration was malformed or inconsistent."""
@@ -506,6 +511,16 @@ class SimulationConfig(_ConfigBase):
         want_history: Whether the proxy requests update history.
         log_events: Whether to record the event log (costly; off by
             default).
+        fidelity: ``"exact"`` (default) dispatches every timer event
+            through the kernel; ``"fastforward"`` advances analytically
+            through event-free intervals — same result rows, far fewer
+            dispatched events.  Fast-forward requires zero-latency
+            links.
+        shards: Worker-process partitions for ``tree`` topologies
+            (``1`` = unsharded).  The tree is split at a subtree
+            boundary level and shards merge deterministically — rows
+            are identical to an unsharded run.  See
+            :mod:`repro.topology.sharding`.
     """
 
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -525,6 +540,8 @@ class SimulationConfig(_ConfigBase):
     supports_history: bool = True
     want_history: bool = True
     log_events: bool = False
+    fidelity: str = "exact"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         for name, sub_type in _SUB_CONFIGS.items():
@@ -550,6 +567,23 @@ class SimulationConfig(_ConfigBase):
                     )
         for name in ("supports_history", "want_history", "log_events"):
             _require_bool("simulation", name, getattr(self, name))
+        _require_str("simulation", "fidelity", self.fidelity)
+        if self.fidelity not in FIDELITY_MODES:
+            raise SimulationConfigError(
+                f"simulation.fidelity must be one of {FIDELITY_MODES}, "
+                f"got {self.fidelity!r}"
+            )
+        _require_int("simulation", "shards", self.shards)
+        if self.shards < 1:
+            raise SimulationConfigError(
+                f"simulation.shards must be >= 1, got {self.shards}"
+            )
+        if self.shards > 1 and self.topology.kind != "tree":
+            raise SimulationConfigError(
+                f"simulation.shards > 1 requires topology.kind 'tree' "
+                f"(the tree is split at a subtree boundary), "
+                f"got kind {self.topology.kind!r}"
+            )
 
     # ------------------------------------------------------------------
     # Overrides
@@ -579,6 +613,8 @@ class SimulationConfig(_ConfigBase):
             "supports_history": self.supports_history,
             "want_history": self.want_history,
             "log_events": self.log_events,
+            "fidelity": self.fidelity,
+            "shards": self.shards,
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

@@ -1,0 +1,278 @@
+"""Analytic fast-forward through event-free intervals.
+
+Between externally scheduled events (trace updates, client arrivals,
+push notifications, failure injections) the only thing a simulation
+does is fire poll timers — and a poll timer's schedule is closed-form:
+the refresher's next instant is known exactly, so there is nothing to
+*discover* by dispatching kernel events one at a time.  The
+:class:`FastForwardEngine` exploits that:
+
+* Every registered object's :class:`~repro.proxy.refresher.Refresher`
+  is detached from its kernel timer
+  (:meth:`~repro.proxy.refresher.Refresher.detach_timer`); re-arms
+  become arithmetic updates queued on the engine's own heap instead of
+  kernel events.
+* The main loop compares the earliest queued poll instant with the
+  kernel's earliest pending event (:meth:`~repro.sim.kernel.Kernel.
+  peek_next_time`).  Runs of external events dispatch through the
+  batch-dispatch seam (:meth:`~repro.sim.kernel.Kernel.run_batch`) in
+  one call; isolated polls advance the clock analytically
+  (:meth:`~repro.sim.kernel.Kernel.advance_clock`) and issue through
+  the proxy's ordinary poll path — the same code a timer callback runs.
+* When an idle run is provably closed-form — a constant-TTR policy
+  (``policy.idle_fixed_ttr()``), origin-attached, origin unchanged
+  since the cached snapshot, no observers, no event log, and no other
+  poll or event due inside the window — the whole run of 304 polls
+  collapses into bulk bookkeeping: ``n`` cache fetch records, counter
+  adds, and one re-arm, skipping request/response construction
+  entirely.
+
+Observable histories are identical to the step-by-step kernel: per-poll
+fetch logs (times, versions, reasons), proxy/origin/network counters,
+policy state, and coordinator-visible next/previous poll instants all
+match byte for byte — pinned by the equivalence suite in
+``tests/test_fastforward.py``.  Two deliberate exceptions: kernel
+``events_processed`` counts only *dispatched* events (fast-forwarded
+polls never become events), and at exactly coincident timestamps
+external events dispatch before fast-forwarded polls, whereas the step
+kernel orders them by scheduling sequence.  Coincidences have measure
+zero for the continuous-time workloads this engine targets.
+
+The engine requires synchronous (zero-latency, zero-jitter) links:
+polls must complete inline for an analytic advance to preserve event
+order around in-flight responses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SimulationError, UnknownObjectError
+from repro.core.events import PollReason
+from repro.core.types import Seconds
+from repro.proxy.proxy import ProxyCache
+from repro.proxy.refresher import Refresher
+from repro.server.origin import OriginServer
+from repro.sim.kernel import Kernel
+
+#: An engine heap entry: (poll time, sequence, refresher).  The
+#: sequence mirrors kernel FIFO arm order, so equal-time polls fire in
+#: the order the step-by-step kernel would fire them.
+_HeapEntry = Tuple[Seconds, int, Refresher]
+
+#: Counter name for TTR-expiry polls (mirrors the proxy's per-reason
+#: poll counters without reaching into its private name table).
+_TTR_COUNTER = f"polls_{PollReason.TTR_EXPIRED.value}"
+_304_COUNTER = "responses_304"
+
+
+class FastForwardEngine:
+    """Runs a simulation to its horizon without dispatching idle timers.
+
+    Args:
+        kernel: The simulation kernel (shared with every proxy).
+        proxies: The proxies whose refreshers the engine takes over —
+            typically every registered node of a topology tree.  Each
+            must poll over a synchronous link.
+
+    Use as a drop-in replacement for ``kernel.run(until=horizon)``::
+
+        engine = FastForwardEngine(kernel, proxies)
+        try:
+            engine.run(horizon)
+        finally:
+            engine.close()
+
+    :meth:`close` reattaches every refresher to its kernel timer, so
+    post-run introspection (and any further stepping) behaves exactly
+    as after a plain run.
+    """
+
+    def __init__(self, kernel: Kernel, proxies: Sequence[ProxyCache]) -> None:
+        self._kernel = kernel
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
+        self._refreshers: List[Refresher] = []
+        self._proxy_of: Dict[Refresher, ProxyCache] = {}
+        self._closed = False
+        #: Idle polls collapsed by the closed-form tier (introspection).
+        self.bulk_polls = 0
+        for proxy in proxies:
+            if not proxy.network.synchronous:
+                raise SimulationError(
+                    f"fast-forward requires synchronous links; proxy "
+                    f"{proxy.name!r} polls over latency "
+                    f"{proxy.network.latency.one_way}"
+                )
+            for object_id in proxy.registered_objects():
+                refresher = proxy.refresher_for(object_id)
+                when = refresher.detach_timer(self._on_reschedule)
+                self._refreshers.append(refresher)
+                self._proxy_of[refresher] = proxy
+                if when is not None:
+                    self._push(when, refresher)
+
+    # ------------------------------------------------------------------
+    # Schedule bookkeeping
+    # ------------------------------------------------------------------
+    def _push(self, when: Seconds, refresher: Refresher) -> None:
+        heapq.heappush(self._heap, (when, self._sequence, refresher))
+        self._sequence += 1
+
+    def _on_reschedule(self, refresher: Refresher, when: Seconds) -> None:
+        self._push(when, refresher)
+
+    def _drop_stale(self) -> None:
+        """Discard superseded heap heads.
+
+        A refresher that was disarmed or re-armed leaves its old entry
+        behind (lazy cancellation, like the kernel's); an entry is live
+        only while it matches the refresher's current next-poll instant.
+        """
+        heap = self._heap
+        while heap and heap[0][2].next_poll_time != heap[0][0]:
+            heapq.heappop(heap)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Seconds) -> None:
+        """Advance the simulation to ``until``.
+
+        Equivalent to ``kernel.run(until=until)`` up to the documented
+        event-count / tie-order exceptions; the clock finishes exactly
+        at ``until``.
+        """
+        if self._closed:
+            raise SimulationError("fast-forward engine is closed")
+        kernel = self._kernel
+        if until < kernel.now():
+            raise SimulationError(
+                f"cannot fast-forward to t={until}, already at t={kernel.now()}"
+            )
+        heap = self._heap
+        while True:
+            self._drop_stale()
+            t_poll = heap[0][0] if heap else None
+            bound = until if (t_poll is None or t_poll > until) else t_poll
+            t_ext = kernel.peek_next_time()
+            if t_ext is not None and t_ext <= bound:
+                # External events first (they were scheduled before any
+                # timer re-arm at the same instant); one batch call
+                # drains the whole run up to the next poll, including
+                # events its own callbacks schedule inside the window.
+                kernel.run_batch(bound)
+                continue
+            if t_poll is None or t_poll > until:
+                break
+            time, _sequence, refresher = heapq.heappop(heap)
+            self._drop_stale()
+            # Bulk may cover polls up to the horizon inclusively, but
+            # must stop strictly BEFORE the next external event or the
+            # next queued poll: a poll exactly at the external event's
+            # instant fires after it in the step kernel (pre-scheduled
+            # events carry lower sequence numbers) and may observe the
+            # update it delivers.
+            before = t_ext
+            if heap and (before is None or heap[0][0] < before):
+                before = heap[0][0]
+            if not self._try_bulk(refresher, time, until, before):
+                kernel.advance_clock(time)
+                refresher.fire_expired()
+        if kernel.now() < until:
+            kernel.advance_clock(until)
+
+    def _try_bulk(
+        self,
+        refresher: Refresher,
+        time: Seconds,
+        until: Seconds,
+        before: Optional[Seconds],
+    ) -> bool:
+        """Collapse a run of idle polls in ``[time, until]``.
+
+        ``before`` is an *exclusive* cap — the next external event or
+        queued poll; a poll exactly at that instant must go through the
+        ordinary path so it observes whatever fires there first.
+        Returns True when the run was applied analytically.  Legal only
+        when every poll in the window is provably an unchanged-origin
+        304 with a constant re-arm: the effects then commute with any
+        other node's polls inside the window, so order need not be
+        preserved poll by poll.
+        """
+        if refresher.stopped:
+            return False
+
+        def fits(when: Seconds) -> bool:
+            return when <= until and (before is None or when < before)
+
+        ttr = refresher.policy.idle_fixed_ttr()
+        # At least two polls must fit for bulk to beat the plain path.
+        if ttr is None or not fits(time + ttr):
+            return False
+        proxy = self._proxy_of[refresher]
+        if proxy.observer_count or proxy.event_logging:
+            return False
+        if proxy.cache.capacity is not None:
+            # Bounded caches touch eviction bookkeeping on every poll's
+            # lookup; collapsing polls would change victim selection.
+            return False
+        object_id = refresher.object_id
+        server = proxy.server_for(object_id)
+        if not isinstance(server, OriginServer):
+            # A parent proxy's cache can change from its own polls
+            # inside the window; only origin state is pinned by t_ext.
+            return False
+        entry = proxy.entry_or_none(object_id)
+        snapshot = entry.snapshot if entry is not None else None
+        if entry is None or snapshot is None:
+            return False
+        try:
+            obj = server.get_object(object_id)
+        except UnknownObjectError:
+            return False
+        if obj.current_version != snapshot.version:
+            # The next poll would fetch (200) — run it step by step.
+            return False
+        # Every poll in the window is a 304 of `snapshot`.  Times
+        # iterate as t += ttr (not time + k*ttr): the step-by-step
+        # kernel re-arms at now + ttr each poll, and float addition must
+        # accumulate identically for byte-identical fetch logs.
+        polls = 0
+        t = time
+        while True:
+            entry.record_fetch(
+                t, snapshot, modified=False, reason=PollReason.TTR_EXPIRED
+            )
+            polls += 1
+            nxt = t + ttr
+            if not fits(nxt):
+                break
+            t = nxt
+        self._kernel.advance_clock(t)
+        proxy.counters.increment("polls", polls)
+        proxy.counters.increment(_TTR_COUNTER, polls)
+        proxy.network.record_synthetic_exchanges(polls)
+        server.counters.increment("requests", polls)
+        server.counters.increment(_304_COUNTER, polls)
+        refresher.apply_idle_polls(t, t + ttr)
+        self.bulk_polls += polls
+        return True
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Reattach every refresher to its kernel timer. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for refresher in self._refreshers:
+            refresher.reattach_timer()
+
+    def __repr__(self) -> str:
+        return (
+            f"FastForwardEngine(refreshers={len(self._refreshers)}, "
+            f"queued={len(self._heap)}, bulk_polls={self.bulk_polls})"
+        )

@@ -211,6 +211,37 @@ class Kernel:
             return True
         return False
 
+    def _drain(self, until: Optional[Seconds], max_events: Optional[int]) -> int:
+        """Dispatch pending events in (time, sequence) order.
+
+        The shared inner loop behind :meth:`run` and :meth:`run_batch`:
+        drains cancelled heads lazily, stops at the first event past
+        ``until`` (events exactly at ``until`` are dispatched), and
+        leaves the clock at the last dispatched event.  Callers own the
+        ``_running`` guard and the end-of-run clock policy.
+        """
+        processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if max_events is not None and processed >= max_events:
+                break
+            # Drop cancelled heads, then peek the next pending time.
+            while heap and heap[0][2].cancelled:
+                pop(heap)
+            if not heap:
+                break
+            time, _sequence, event = heap[0]
+            if until is not None and time > until:
+                break
+            pop(heap)
+            self._now = time
+            event.fired = True
+            self._events_processed += 1
+            event.callback(self)
+            processed += 1
+        return processed
+
     def run(
         self,
         *,
@@ -234,34 +265,85 @@ class Kernel:
                 f"cannot run until t={until}, already at t={self._now}"
             )
         self._running = True
+        before = self._events_processed
         processed = 0
-        heap = self._heap
-        pop = heapq.heappop
         try:
-            while heap:
-                if max_events is not None and processed >= max_events:
-                    break
-                # Drop cancelled heads, then peek the next pending time.
-                while heap and heap[0][2].cancelled:
-                    pop(heap)
-                if not heap:
-                    break
-                time, _sequence, event = heap[0]
-                if until is not None and time > until:
-                    break
-                pop(heap)
-                self._now = time
-                event.fired = True
-                self._events_processed += 1
-                event.callback(self)
-                processed += 1
+            processed = self._drain(until, max_events)
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
             global _TOTAL_EVENTS
-            _TOTAL_EVENTS += processed
+            _TOTAL_EVENTS += self._events_processed - before
         return processed
+
+    def run_batch(
+        self,
+        until: Seconds,
+        *,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drain every pending event with time <= ``until`` in one call.
+
+        The batch-dispatch seam behind the analytic fast-forward engine
+        (:mod:`repro.sim.fastforward`): event ordering and bookkeeping
+        are identical to :meth:`run`, but the clock is left at the last
+        dispatched event — never finalized to ``until`` — so a caller
+        can interleave dispatch batches with :meth:`advance_clock`
+        jumps through intervals it has proven event-free.
+
+        Returns:
+            The number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError(
+                "kernel is already running (re-entrant run_batch())"
+            )
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run batch until t={until}, already at t={self._now}"
+            )
+        self._running = True
+        before = self._events_processed
+        processed = 0
+        try:
+            processed = self._drain(until, max_events)
+        finally:
+            self._running = False
+            global _TOTAL_EVENTS
+            _TOTAL_EVENTS += self._events_processed - before
+        return processed
+
+    def peek_next_time(self) -> Optional[Seconds]:
+        """Earliest pending event time, or ``None`` when the queue is empty.
+
+        Cancelled heads are dropped as a side effect, so the returned
+        time always belongs to an event that will actually fire.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][2].cancelled:
+            pop(heap)
+        return heap[0][0] if heap else None
+
+    def advance_clock(self, to: Seconds) -> None:
+        """Move the clock forward through an event-free interval.
+
+        The analytic fast-forward seam: the caller asserts nothing
+        observable happens in ``(now, to)``.  Refuses to run backwards
+        or to jump past a pending event (events exactly at ``to`` may
+        stay pending — they are the next thing dispatched).
+        """
+        if to < self._now:
+            raise SimulationError(
+                f"cannot advance clock to t={to}, already at t={self._now}"
+            )
+        pending = self.peek_next_time()
+        if pending is not None and pending < to:
+            raise SimulationError(
+                f"cannot advance clock to t={to}: event pending at t={pending}"
+            )
+        self._now = to
 
     # ------------------------------------------------------------------
     # Introspection

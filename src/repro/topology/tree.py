@@ -353,8 +353,18 @@ class TopologyTree:
         self,
         object_id: ObjectId,
         policy_factory: Optional[LevelPolicyFactory] = None,
+        *,
+        node_filter: Optional[Callable[[int, int], bool]] = None,
     ) -> Dict[str, RefreshPolicy]:
         """Register an object at every node, root-first.
+
+        ``node_filter(level, index)`` restricts registration to a
+        subset of nodes — the sharded executor registers only a shard's
+        cone (its boundary subtrees plus all their ancestors; see
+        :mod:`repro.topology.sharding`).  The filter must be
+        ancestor-closed: a registered node's upstream proxy must itself
+        be registered, or its initial fetch 404s against an empty
+        parent cache.  Filtered-out nodes stay constructed but idle.
 
         Pull nodes get ``policy_factory(level, object_id)`` (required if
         any level pulls); push nodes get a
@@ -385,6 +395,10 @@ class TopologyTree:
         for level_number, row in enumerate(self._by_level):
             level = self._levels[level_number]
             for node in row:
+                if node_filter is not None and not node_filter(
+                    level_number, node.index
+                ):
+                    continue
                 policy: RefreshPolicy
                 if level.mode == PUSH:
                     policy = PassivePolicy()

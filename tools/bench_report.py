@@ -11,6 +11,23 @@ performance trajectory, one file per recorded run::
     python tools/bench_report.py --workers 2     # parallel sweep points
     python tools/bench_report.py --out reports/  # where to write
 
+Comparison mode turns two trajectory points into a per-benchmark delta
+table and a CI regression gate::
+
+    # record a fresh point, then gate it against a committed baseline
+    python tools/bench_report.py --smoke --compare BENCH_20260101.json
+
+    # pure comparison of two existing reports (no benches run)
+    python tools/bench_report.py --compare BASELINE.json \
+        --candidate CANDIDATE.json --max-regression-pct 15
+
+Deltas are computed over the benchmarks *common* to both reports (by
+name, events > 0), including the recomputed common-subset totals, so a
+bench added or removed between points never skews the gate.  The gate
+fails (exit 1) when total events/sec drops more than
+``--max-regression-pct`` (default 15%).  When ``$GITHUB_STEP_SUMMARY``
+is set the delta table is appended there as well.
+
 Report schema (``schema`` = ``repro-bench-trajectory/1``):
 
 * ``created_utc`` / ``git_commit`` / ``python`` / ``platform`` — where
@@ -38,7 +55,7 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
@@ -153,6 +170,83 @@ def _distil(raw: Dict, *, workers: Optional[int], smoke: bool) -> Dict:
     }
 
 
+def _throughputs(report: Dict) -> Dict[str, Tuple[int, float]]:
+    """Per-benchmark ``(events, wall_s)`` for benches that simulated."""
+    out: Dict[str, Tuple[int, float]] = {}
+    for bench in report.get("benchmarks", []):
+        extra = bench.get("extra_info") or {}
+        events = int(extra.get("events_processed", 0) or 0)
+        wall = float(bench.get("wall_s", 0.0) or 0.0)
+        name = bench.get("name")
+        if name and events > 0 and wall > 0:
+            out[str(name)] = (events, wall)
+    return out
+
+
+def _compare_reports(
+    baseline: Dict, candidate: Dict, max_regression_pct: float
+) -> Tuple[List[str], bool]:
+    """Delta table (markdown lines) and whether the gate passes.
+
+    Only benchmarks present in both reports count — including in the
+    recomputed totals — so adding or retiring a bench between
+    trajectory points cannot masquerade as a throughput change.  The
+    gate examines the common-subset total events/sec.
+    """
+    base = _throughputs(baseline)
+    cand = _throughputs(candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        return (
+            ["no benchmarks in common between baseline and candidate"],
+            False,
+        )
+
+    def eps(events: int, wall: float) -> float:
+        return events / wall
+
+    lines = [
+        "### Bench trajectory: candidate vs baseline",
+        "",
+        "| benchmark | baseline ev/s | candidate ev/s | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in common:
+        b = eps(*base[name])
+        c = eps(*cand[name])
+        delta = (c - b) / b * 100.0
+        lines.append(f"| {name} | {b:,.0f} | {c:,.0f} | {delta:+.1f}% |")
+    base_total = eps(
+        sum(base[n][0] for n in common), sum(base[n][1] for n in common)
+    )
+    cand_total = eps(
+        sum(cand[n][0] for n in common), sum(cand[n][1] for n in common)
+    )
+    total_delta = (cand_total - base_total) / base_total * 100.0
+    ok = total_delta >= -max_regression_pct
+    lines.append(
+        f"| **total ({len(common)} common)** | {base_total:,.0f} "
+        f"| {cand_total:,.0f} | {total_delta:+.1f}% |"
+    )
+    lines.append("")
+    lines.append(
+        f"Gate: total delta {total_delta:+.1f}% vs allowed regression "
+        f"-{max_regression_pct:.1f}% -> {'PASS' if ok else 'FAIL'}"
+    )
+    return lines, ok
+
+
+def _emit_comparison(lines: List[str]) -> None:
+    import os
+
+    text = "\n".join(lines)
+    print(text)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
 def _validate(report: Dict) -> List[str]:
     """Return a list of problems (empty = valid)."""
     problems = []
@@ -187,7 +281,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=REPO_ROOT,
         help="directory to write BENCH_<timestamp>.json into",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "gate against this baseline BENCH_*.json: compare the "
+            "fresh report (or --candidate) and fail on regression"
+        ),
+    )
+    parser.add_argument(
+        "--candidate",
+        type=Path,
+        default=None,
+        help=(
+            "with --compare: an existing report to compare instead of "
+            "running the benches"
+        ),
+    )
+    parser.add_argument(
+        "--max-regression-pct",
+        type=float,
+        default=15.0,
+        help=(
+            "fail when common-subset total events/sec drops more than "
+            "this percentage vs the baseline (default: 15)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.candidate is not None:
+        if args.compare is None:
+            parser.error("--candidate requires --compare")
+        try:
+            baseline = json.loads(args.compare.read_text())
+            candidate = json.loads(args.candidate.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable report: {exc}", file=sys.stderr)
+            return 1
+        lines, ok = _compare_reports(
+            baseline, candidate, args.max_regression_pct
+        )
+        _emit_comparison(lines)
+        return 0 if ok else 1
 
     if args.smoke:
         targets = [
@@ -227,6 +364,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{totals['wall_s']:.2f}s wall, "
         f"{totals['events_per_sec']:,.0f} events/sec"
     )
+
+    if args.compare is not None:
+        try:
+            baseline = json.loads(args.compare.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable baseline: {exc}", file=sys.stderr)
+            return 1
+        lines, ok = _compare_reports(
+            baseline, report, args.max_regression_pct
+        )
+        _emit_comparison(lines)
+        return 0 if ok else 1
     return 0
 
 
