@@ -39,6 +39,8 @@ from repro.api.builder import (
 )
 from repro.api.config import (
     CacheConfig,
+    GroupConfig,
+    GroupsConfig,
     LevelConfig,
     NetworkConfig,
     PolicyConfig,
@@ -69,6 +71,8 @@ from repro.api.workloads import (
 
 __all__ = [
     "CacheConfig",
+    "GroupConfig",
+    "GroupsConfig",
     "LevelConfig",
     "NetworkConfig",
     "PolicyConfig",

@@ -38,12 +38,15 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
+    from repro.groups.registry import GroupRegistry
     from repro.sim.kernel import Kernel
     from repro.sim.tracing import EventLog
     from repro.topology.sharding import ShardSelection
 
 from repro.api.config import (
     CacheConfig,
+    GroupConfig,
+    GroupsConfig,
     LevelConfig,
     NetworkConfig,
     PolicyConfig,
@@ -74,6 +77,12 @@ from repro.traces.model import UpdateTrace
 #: unbounded caches (the default) and ``staleness_violations`` counts
 #: absence windows that voided the policy's Δ bound (see
 #: :func:`repro.metrics.collector.collect_eviction_impact`).
+#:
+#: Configs with a non-empty ``groups`` section additionally report one
+#: row per (node, group) carrying the ``group*`` columns — scored by
+#: :func:`repro.metrics.group.group_temporal_fidelity` against each
+#: group's ``mutual_delta`` — while per-object rows leave those cells
+#: unset (and group rows leave the per-object cells unset).
 RESULT_COLUMNS: Tuple[str, ...] = (
     "node",
     "object",
@@ -84,6 +93,11 @@ RESULT_COLUMNS: Tuple[str, ...] = (
     "evictions",
     "refetch_after_evict",
     "staleness_violations",
+    "group",
+    "group_polls",
+    "group_violations",
+    "group_fidelity_by_violations",
+    "group_fidelity_by_time",
 )
 
 #: A hook run on the live tree after registration, before the run — the
@@ -198,6 +212,126 @@ def _node_rows(
                 "evictions": impact.evictions,
                 "refetch_after_evict": impact.refetches_after_evict,
                 "staleness_violations": impact.staleness_violations,
+            }
+        )
+    return rows
+
+
+def _resolve_groups(
+    config: SimulationConfig, traces: Sequence[UpdateTrace]
+) -> Optional["GroupRegistry"]:
+    """Materialise the config's groups section into one registry.
+
+    Explicit groups come first, then one ``component-<i>`` group per
+    connected component of the dependency edges.  Members must name
+    workload objects; id collisions and malformed groups surface as
+    config errors before any simulation state exists.
+    """
+    if not config.groups.enabled:
+        return None
+    from repro.groups.dependency import DependencyGraph
+    from repro.groups.registry import GroupRegistry, groups_from_components
+
+    known = {str(trace.object_id) for trace in traces}
+    registry = GroupRegistry()
+    for group in config.groups.groups:
+        missing = sorted(set(group.members) - known)
+        if missing:
+            raise SimulationConfigError(
+                f"groups: group {group.group_id!r} names member(s) "
+                f"{missing} not in workload.objects"
+            )
+        try:
+            registry.create_group(
+                group.group_id,
+                tuple(ObjectId(member) for member in group.members),
+                group.mutual_delta,
+            )
+        except ValueError as exc:
+            raise SimulationConfigError(f"groups: {exc}") from None
+    if config.groups.edges:
+        graph = DependencyGraph()
+        for a, b in config.groups.edges:
+            missing = sorted({a, b} - known)
+            if missing:
+                raise SimulationConfigError(
+                    f"groups: edge [{a!r}, {b!r}] names object(s) "
+                    f"{missing} not in workload.objects"
+                )
+            graph.relate(ObjectId(a), ObjectId(b))
+        for spec in groups_from_components(
+            graph, config.groups.component_delta
+        ):
+            try:
+                registry.add_group(spec)
+            except ValueError as exc:
+                raise SimulationConfigError(f"groups: {exc}") from None
+    return registry
+
+
+def _attach_coordinators(
+    config: SimulationConfig,
+    registry: Optional["GroupRegistry"],
+    proxies: Sequence[ProxyCache],
+) -> None:
+    """One mutual-temporal coordinator per proxy node, sharing the registry.
+
+    Attached before object registration (like
+    :func:`repro.api.runs.run_mutual_temporal`) so initial fetches are
+    observed; partners not yet registered are suppressed by the
+    coordinator's own "unregistered" guard.
+    """
+    if registry is None:
+        return
+    from repro.consistency.mutual_temporal import (
+        make_mutual_temporal_coordinator,
+    )
+
+    for proxy in proxies:
+        make_mutual_temporal_coordinator(
+            proxy,
+            registry,
+            config.groups.mode,
+            rate_ratio_threshold=config.groups.rate_ratio_threshold,
+        )
+
+
+def _group_rows(
+    node: str,
+    proxy: ProxyCache,
+    registry: "GroupRegistry",
+    traces_by_id: Dict[ObjectId, UpdateTrace],
+    horizon: float,
+) -> List[Dict[str, object]]:
+    """One result row per group on one node (the ``group*`` columns)."""
+    from repro.metrics.collector import temporal_fetches_of
+    from repro.metrics.group import group_temporal_fidelity
+
+    rows: List[Dict[str, object]] = []
+    for spec in registry:
+        fetches = {}
+        for member in spec.members:
+            # A bounded cache may have evicted a member; its fetch
+            # history is gone, so it contributes no poll events (the
+            # group metric then scores the remaining members' polls).
+            entry = proxy.entry_or_none(member)
+            fetches[member] = (
+                [] if entry is None else temporal_fetches_of(proxy, member)
+            )
+        report = group_temporal_fidelity(
+            {member: traces_by_id[member] for member in spec.members},
+            fetches,
+            spec.mutual_delta,
+            end=horizon,
+        )
+        rows.append(
+            {
+                "node": node,
+                "group": str(spec.group_id),
+                "group_polls": report.polls,
+                "group_violations": report.violations,
+                "group_fidelity_by_violations": report.fidelity_by_violations,
+                "group_fidelity_by_time": report.fidelity_by_time,
             }
         )
     return rows
@@ -454,6 +588,10 @@ def _run_tree(
     def level_policy(level: int, object_id: ObjectId) -> RefreshPolicy:
         return level_factories[level](object_id)
 
+    group_registry = _resolve_groups(config, traces)
+    _attach_coordinators(
+        config, group_registry, [node.proxy for node in tree.nodes]
+    )
     node_filter = selection.node_filter if selection is not None else None
     for trace in traces:
         tree.register_object(
@@ -472,6 +610,14 @@ def _run_tree(
     rows: List[Dict[str, object]] = []
     for _key, node_rows in keyed:
         rows.extend(node_rows)
+    if group_registry is not None:
+        traces_by_id = {trace.object_id: trace for trace in traces}
+        for node in tree.nodes:
+            rows.extend(
+                _group_rows(
+                    node.name, node.proxy, group_registry, traces_by_id, horizon
+                )
+            )
     edges = (
         [node.proxy for node in tree.edge_nodes] if tree.depth > 1 else []
     )
@@ -593,6 +739,10 @@ def run_simulation(
         cache_factory=_cache_factory(config.cache),
     )
     proxy = tree.root.proxy
+    group_registry = _resolve_groups(config, traces)
+    _attach_coordinators(
+        config, group_registry, [node.proxy for node in tree.nodes]
+    )
     for trace in traces:
         tree.register_object(
             trace.object_id,
@@ -617,6 +767,17 @@ def run_simulation(
                 snapshots=True,
             )
         )
+    if group_registry is not None:
+        traces_by_id = {trace.object_id: trace for trace in traces}
+        rows.extend(
+            _group_rows(primary, proxy, group_registry, traces_by_id, horizon)
+        )
+        for index, edge in enumerate(edges):
+            rows.extend(
+                _group_rows(
+                    f"edge-{index}", edge, group_registry, traces_by_id, horizon
+                )
+            )
     return SimulationOutcome(
         config=config,
         run=RunResult(
@@ -768,6 +929,41 @@ class SimulationBuilder:
                 object_classes=object_classes or {},
             )
         self._config = replace(self._config, cache=cache)
+        return self
+
+    def groups(
+        self,
+        groups: Union[GroupsConfig, Sequence[GroupConfig]] = (),
+        *,
+        edges: Sequence[Sequence[str]] = (),
+        component_delta: float = 600.0,
+        mode: str = "triggered",
+        rate_ratio_threshold: float = 0.8,
+    ) -> "SimulationBuilder":
+        """Declare mutual-consistency groups.
+
+        Pass explicit :class:`GroupConfig` entries, dependency
+        ``edges`` (each connected component becomes a group at
+        ``component_delta``), or a whole :class:`GroupsConfig`.
+        Example::
+
+            builder.groups(
+                [GroupConfig("scores", ("team_a", "team_b"), 30.0)],
+                edges=[("team_a", "summary")],
+                mode="heuristic",
+            )
+        """
+        if isinstance(groups, GroupsConfig):
+            section = groups
+        else:
+            section = GroupsConfig(
+                groups=tuple(groups),
+                edges=tuple(tuple(pair) for pair in edges),
+                component_delta=component_delta,
+                mode=mode,
+                rate_ratio_threshold=rate_ratio_threshold,
+            )
+        self._config = replace(self._config, groups=section)
         return self
 
     def seed(self, seed: int) -> "SimulationBuilder":

@@ -482,6 +482,191 @@ class CacheConfig(_ConfigBase):
         }
 
 
+#: Mutual-consistency coordinator modes (paper Section 3.2), mirrored
+#: from :class:`repro.consistency.mutual_temporal.MutualTemporalMode`
+#: so configs validate without importing the consistency layer.
+GROUP_MODES = ("none", "triggered", "heuristic")
+
+
+@dataclass(frozen=True)
+class GroupConfig(_ConfigBase):
+    """One explicit mutual-consistency group.
+
+    Attributes:
+        group_id: Unique group name (the ``group`` result-column value).
+        members: Workload object keys in the group (>= 2, distinct).
+        mutual_delta: The group's tolerance δ in seconds (Eq. 4).
+    """
+
+    group_id: str
+    members: Tuple[str, ...]
+    mutual_delta: float
+
+    def __post_init__(self) -> None:
+        _require_str("group", "group_id", self.group_id)
+        if not self.group_id:
+            raise SimulationConfigError("group.group_id must be non-empty")
+        if isinstance(self.members, (str, bytes)) or not isinstance(
+            self.members, Sequence
+        ):
+            raise SimulationConfigError(
+                f"group {self.group_id!r}: members must be a sequence of "
+                f"object keys, got {type(self.members).__name__}"
+            )
+        items = tuple(self.members)
+        for item in items:
+            if not isinstance(item, str) or not item:
+                raise SimulationConfigError(
+                    f"group {self.group_id!r}: members must be non-empty "
+                    f"strings, got {item!r}"
+                )
+        if len(items) < 2:
+            raise SimulationConfigError(
+                f"group {self.group_id!r} needs >= 2 members, "
+                f"got {len(items)}"
+            )
+        if len(set(items)) != len(items):
+            raise SimulationConfigError(
+                f"group {self.group_id!r} has duplicate members"
+            )
+        object.__setattr__(self, "members", items)
+        value = _require_float("group", "mutual_delta", self.mutual_delta)
+        if value < 0:
+            raise SimulationConfigError(
+                f"group {self.group_id!r}: mutual_delta must be >= 0, "
+                f"got {value}"
+            )
+        object.__setattr__(self, "mutual_delta", value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "group_id": self.group_id,
+            "members": list(self.members),
+            "mutual_delta": self.mutual_delta,
+        }
+
+
+@dataclass(frozen=True)
+class GroupsConfig(_ConfigBase):
+    """Mutual-consistency groups as first-class configuration.
+
+    Groups come from two sources, combinable in one config: explicit
+    member lists (:class:`GroupConfig`) and connected components of a
+    dependency edge list (paper Section 5.2's syntactic relations,
+    resolved through :class:`repro.groups.dependency.DependencyGraph`).
+    A non-empty groups section attaches a
+    :class:`~repro.groups.registry.GroupRegistry` plus one
+    mutual-temporal coordinator per proxy node — on any topology,
+    including trees — and adds per-group violation rows to the result
+    set (see :data:`repro.api.builder.RESULT_COLUMNS`).
+
+    Attributes:
+        groups: Explicit groups with per-group ``mutual_delta``.
+        edges: Dependency pairs ``[a, b]``; each connected component of
+            the resulting graph becomes a group ``component-<i>``.
+        component_delta: The δ shared by component-derived groups.
+        mode: Coordinator mode — ``triggered`` (poll partners on every
+            detected update), ``heuristic`` (rate-gated triggers), or
+            ``none`` (bookkeeping only, no extra polls).
+        rate_ratio_threshold: The heuristic's rate gate (partner polled
+            iff its rate >= threshold × source rate).
+    """
+
+    groups: Tuple[GroupConfig, ...] = ()
+    edges: Tuple[Tuple[str, str], ...] = ()
+    component_delta: float = 600.0
+    mode: str = "triggered"
+    rate_ratio_threshold: float = 0.8
+
+    def __post_init__(self) -> None:
+        if isinstance(self.groups, (str, bytes, Mapping)) or not isinstance(
+            self.groups, Sequence
+        ):
+            raise SimulationConfigError(
+                "groups.groups must be a sequence of group configs, "
+                f"got {type(self.groups).__name__}"
+            )
+        items = []
+        seen_ids = set()
+        for index, item in enumerate(self.groups):
+            if isinstance(item, Mapping):
+                item = GroupConfig.from_dict(item)
+            if not isinstance(item, GroupConfig):
+                raise SimulationConfigError(
+                    f"groups.groups[{index}] must be a GroupConfig (or "
+                    f"mapping), got {type(item).__name__}"
+                )
+            if item.group_id in seen_ids:
+                raise SimulationConfigError(
+                    f"duplicate group id {item.group_id!r} in groups.groups"
+                )
+            seen_ids.add(item.group_id)
+            items.append(item)
+        object.__setattr__(self, "groups", tuple(items))
+        if isinstance(self.edges, (str, bytes, Mapping)) or not isinstance(
+            self.edges, Sequence
+        ):
+            raise SimulationConfigError(
+                "groups.edges must be a sequence of [a, b] pairs, "
+                f"got {type(self.edges).__name__}"
+            )
+        pairs = []
+        for index, pair in enumerate(self.edges):
+            if isinstance(pair, (str, bytes)) or not isinstance(
+                pair, Sequence
+            ) or len(pair) != 2:
+                raise SimulationConfigError(
+                    f"groups.edges[{index}] must be a pair of object "
+                    f"keys, got {pair!r}"
+                )
+            a, b = pair
+            for end in (a, b):
+                if not isinstance(end, str) or not end:
+                    raise SimulationConfigError(
+                        f"groups.edges[{index}] entries must be non-empty "
+                        f"strings, got {end!r}"
+                    )
+            if a == b:
+                raise SimulationConfigError(
+                    f"groups.edges[{index}] relates {a!r} to itself"
+                )
+            pairs.append((a, b))
+        object.__setattr__(self, "edges", tuple(pairs))
+        value = _require_float("groups", "component_delta", self.component_delta)
+        if value < 0:
+            raise SimulationConfigError(
+                f"groups.component_delta must be >= 0, got {value}"
+            )
+        object.__setattr__(self, "component_delta", value)
+        _require_str("groups", "mode", self.mode)
+        if self.mode not in GROUP_MODES:
+            raise SimulationConfigError(
+                f"groups.mode must be one of {GROUP_MODES}, got {self.mode!r}"
+            )
+        threshold = _require_float(
+            "groups", "rate_ratio_threshold", self.rate_ratio_threshold
+        )
+        if threshold <= 0:
+            raise SimulationConfigError(
+                f"groups.rate_ratio_threshold must be > 0, got {threshold}"
+            )
+        object.__setattr__(self, "rate_ratio_threshold", threshold)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any group (explicit or derived) is configured."""
+        return bool(self.groups or self.edges)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "groups": [group.to_dict() for group in self.groups],
+            "edges": [list(pair) for pair in self.edges],
+            "component_delta": self.component_delta,
+            "mode": self.mode,
+            "rate_ratio_threshold": self.rate_ratio_threshold,
+        }
+
+
 #: SimulationConfig fields holding a nested sub-config, with their types.
 _SUB_CONFIGS: Dict[str, type] = {
     "workload": WorkloadConfig,
@@ -489,6 +674,7 @@ _SUB_CONFIGS: Dict[str, type] = {
     "topology": TopologyConfig,
     "network": NetworkConfig,
     "cache": CacheConfig,
+    "groups": GroupsConfig,
 }
 
 
@@ -503,6 +689,11 @@ class SimulationConfig(_ConfigBase):
         network: Link latency model.
         cache: Per-node cache bounds (capacity + eviction policy) and
             TTL classes; the default is the paper's unbounded cache.
+        groups: Mutual-consistency groups (explicit member lists and/or
+            dependency-edge components); a non-empty section attaches a
+            group registry and mutual-temporal coordinators per node
+            and adds per-group violation rows.  Requires ``shards=1``
+            and ``fidelity="exact"``.
         seed: Root RNG seed (derives every substream).
         horizon_s: Stop time; ``None`` runs to the longest trace end.
         fidelity_delta_s: Δt used for the fidelity columns of the
@@ -534,6 +725,7 @@ class SimulationConfig(_ConfigBase):
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    groups: GroupsConfig = field(default_factory=GroupsConfig)
     seed: int = DEFAULT_SEED
     horizon_s: Optional[float] = None
     fidelity_delta_s: Optional[float] = None
@@ -584,6 +776,18 @@ class SimulationConfig(_ConfigBase):
                 f"(the tree is split at a subtree boundary), "
                 f"got kind {self.topology.kind!r}"
             )
+        if self.groups.enabled and self.shards > 1:
+            raise SimulationConfigError(
+                "groups cannot combine with shards > 1: a group's members "
+                "may span shard cones, and the coordinator needs to "
+                "observe every member's polls on one proxy"
+            )
+        if self.groups.enabled and self.fidelity == "fastforward":
+            raise SimulationConfigError(
+                'groups require fidelity="exact": mutual-trigger polls '
+                "are event-driven and the analytic fast-forward engine "
+                "would skip past them"
+            )
 
     # ------------------------------------------------------------------
     # Overrides
@@ -601,7 +805,7 @@ class SimulationConfig(_ConfigBase):
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form: nested dicts and lists, safe to ``json.dumps``."""
-        return {
+        data: Dict[str, object] = {
             "workload": self.workload.to_dict(),
             "policy": self.policy.to_dict(),
             "topology": self.topology.to_dict(),
@@ -616,6 +820,12 @@ class SimulationConfig(_ConfigBase):
             "fidelity": self.fidelity,
             "shards": self.shards,
         }
+        # Pre-groups serialized configs keep their historical shape:
+        # only a non-default groups section is carried (mirroring how
+        # single/hierarchy topologies omit ``levels``).
+        if self.groups != GroupsConfig():
+            data["groups"] = self.groups.to_dict()
+        return data
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

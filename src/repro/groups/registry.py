@@ -25,9 +25,22 @@ class GroupRegistry:
     # Registration
     # ------------------------------------------------------------------
     def add_group(self, spec: GroupSpec) -> None:
-        """Register a group; its id must be unused."""
+        """Register a group; its id must be unused.
+
+        The member list is re-validated here even though
+        :class:`GroupSpec` checks it at construction: specs built
+        through ``object.__new__`` or other bypasses would otherwise
+        double-count members in the mutual-Δ bookkeeping.
+        """
         if spec.group_id in self._groups:
             raise ValueError(f"group {spec.group_id!r} already registered")
+        if len(spec.members) < 2:
+            raise ValueError(
+                f"group {spec.group_id!r} needs >= 2 members, "
+                f"got {len(spec.members)}"
+            )
+        if len(set(spec.members)) != len(spec.members):
+            raise ValueError(f"group {spec.group_id!r} has duplicate members")
         self._groups[spec.group_id] = spec
         for member in spec.members:
             self._by_member.setdefault(member, set()).add(spec.group_id)

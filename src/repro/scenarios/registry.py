@@ -100,6 +100,7 @@ def _load_builtins() -> None:
     import repro.scenarios.builtin  # noqa: F401
     import repro.scenarios.families  # noqa: F401
     import repro.scenarios.capacity  # noqa: F401
+    import repro.scenarios.replay  # noqa: F401
 
 
 #: The scenario registry: ``SCENARIOS.get(name)`` resolves one entry,

@@ -84,6 +84,14 @@ TINY_CONFIGS: Dict[str, TinyConfig] = {
         },
     ),
     "ttl_class_mix": TinyConfig(values=(2.0, 30.0)),
+    "trace_replay": TinyConfig(
+        values=(0.5, 1.0), params={"duration_hours": 1.0}
+    ),
+    "correlated_storm": TinyConfig(
+        values=(10, 25),
+        params={"objects": 12, "hours": 2.0, "storms_per_hour": 8.0},
+    ),
+    "group_churn": TinyConfig(values=(30.0, 60.0), params={"objects": 6, "hours": 3.0}),
 }
 
 

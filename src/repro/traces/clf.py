@@ -1,0 +1,418 @@
+"""Proxy-log ingestion: access logs → per-object update traces.
+
+The paper's workloads were collected by polling live servers; real
+deployments sit on the other side of that pipeline — they have *proxy
+access logs* (Apache Common Log Format, squid native format) and need
+update traces inferred from them.  This module is that ingestion path:
+
+* :func:`parse_log` / :func:`read_log` — strict, line-numbered parsing
+  of CLF and squid-style logs into :class:`LogRecord` rows;
+* :func:`serialize_log` — the inverse, so fixtures round-trip
+  (``parse → serialize → parse`` is the identity on records);
+* :func:`infer_update_times` / :func:`log_to_traces` — configurable
+  update-inference rules mapping request rows to per-object
+  :class:`~repro.traces.model.UpdateTrace` instances;
+* :func:`generate_synthetic_log` — a deterministic generator for
+  shareable fixtures (golden scenarios replay its output).
+
+The ``trace_replay`` workload source (:mod:`repro.api.workloads`)
+exposes all of this to any JSON :class:`~repro.api.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.errors import TraceFormatError
+from repro.core.types import ObjectId, Seconds
+from repro.traces.model import TraceMetadata, UpdateTrace, trace_from_times
+
+#: Log dialects the parser and serializer understand.
+LOG_FORMATS = ("clf", "squid")
+
+#: Update-inference rules for :func:`infer_update_times`.
+#:
+#: * ``size_change`` — an object updated when the response size for its
+#:   URL differs from the previous response (first sighting counts);
+#:   the classic last-modified-free heuristic for proxy logs.
+#: * ``every_request`` — every successful response counts as an update
+#:   (an upper bound on update activity).
+UPDATE_RULES = ("size_change", "every_request")
+
+_MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+_MONTH_NUMBER = {name: index + 1 for index, name in enumerate(_MONTHS)}
+
+# host ident authuser [date] "request" status size
+_CLF_RE = re.compile(
+    r'^(\S+) (\S+) (\S+) \[([^\]]+)\] "([^"]*)" (\d{3}) (\d+|-)$'
+)
+_CLF_DATE_RE = re.compile(
+    r"^(\d{2})/([A-Za-z]{3})/(\d{4}):(\d{2}):(\d{2}):(\d{2}) ([+-])(\d{2})(\d{2})$"
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One parsed access-log line (the fields both dialects share).
+
+    ``time`` is epoch seconds.  Serialization keeps exactly these
+    fields, so ``parse(serialize(records)) == records`` whenever the
+    times fit the dialect's resolution (whole seconds for CLF,
+    milliseconds for squid).
+    """
+
+    time: float
+    host: str
+    method: str
+    url: str
+    status: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.time != self.time or self.time in (
+            float("inf"),
+            float("-inf"),
+        ):
+            raise ValueError(f"time must be finite and >= 0, got {self.time!r}")
+        for name in ("host", "method", "url"):
+            value = getattr(self, name)
+            if not value or any(c.isspace() for c in value):
+                raise ValueError(
+                    f"{name} must be non-empty and whitespace-free, "
+                    f"got {value!r}"
+                )
+        if any('"' in getattr(self, n) for n in ("host", "method", "url")):
+            raise ValueError(f"quotes are not allowed in log fields: {self!r}")
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"status must be in [100, 599], got {self.status}")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def _parse_clf_date(line_no: int, text: str) -> float:
+    match = _CLF_DATE_RE.match(text)
+    if match is None:
+        raise TraceFormatError(
+            f"line {line_no}: bad CLF timestamp {text!r} "
+            "(expected dd/Mon/yyyy:HH:MM:SS +zzzz)"
+        )
+    day, month_name, year, hour, minute, second, sign, off_h, off_m = (
+        match.groups()
+    )
+    month = _MONTH_NUMBER.get(month_name.title())
+    if month is None:
+        raise TraceFormatError(
+            f"line {line_no}: unknown month {month_name!r}"
+        )
+    offset = timedelta(hours=int(off_h), minutes=int(off_m))
+    if sign == "-":
+        offset = -offset
+    try:
+        stamp = datetime(
+            int(year), month, int(day),
+            int(hour), int(minute), int(second),
+            tzinfo=timezone(offset),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_no}: {exc}") from None
+    return stamp.timestamp()
+
+
+def _parse_clf_line(line_no: int, line: str) -> LogRecord:
+    match = _CLF_RE.match(line)
+    if match is None:
+        raise TraceFormatError(
+            f"line {line_no}: not a Common Log Format line: {line!r}"
+        )
+    host, _ident, _user, date_text, request, status, size = match.groups()
+    parts = request.split(" ")
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise TraceFormatError(
+            f"line {line_no}: bad request field {request!r} "
+            '(expected "METHOD URL [PROTOCOL]")'
+        )
+    try:
+        return LogRecord(
+            time=_parse_clf_date(line_no, date_text),
+            host=host,
+            method=parts[0],
+            url=parts[1],
+            status=int(status),
+            size=0 if size == "-" else int(size),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_no}: {exc}") from None
+
+
+def _parse_squid_line(line_no: int, line: str) -> LogRecord:
+    fields = line.split()
+    if len(fields) < 7:
+        raise TraceFormatError(
+            f"line {line_no}: squid lines need >= 7 fields, "
+            f"got {len(fields)}: {line!r}"
+        )
+    action = fields[3]
+    if "/" not in action:
+        raise TraceFormatError(
+            f"line {line_no}: bad squid action/status field {action!r}"
+        )
+    status_text = action.rsplit("/", 1)[1]
+    try:
+        return LogRecord(
+            time=float(fields[0]),
+            host=fields[2],
+            method=fields[5],
+            url=fields[6],
+            status=int(status_text),
+            size=int(fields[4]),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_no}: {exc}") from None
+
+
+def parse_log(
+    source: Union[str, Iterable[str]], *, format: str = "clf"
+) -> List[LogRecord]:
+    """Parse an access log (a string or an iterable of lines).
+
+    Blank lines and ``#`` comments are skipped; anything else that does
+    not parse raises :class:`~repro.core.errors.TraceFormatError`
+    naming the 1-based line number.
+    """
+    if format not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {format!r}; known: {LOG_FORMATS}"
+        )
+    lines = source.splitlines() if isinstance(source, str) else source
+    parse_line = _parse_clf_line if format == "clf" else _parse_squid_line
+    records: List[LogRecord] = []
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        records.append(parse_line(line_no, line))
+    return records
+
+
+def read_log(
+    path: Union[str, Path], *, format: str = "clf"
+) -> List[LogRecord]:
+    """Parse an access-log file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_log(handle, format=format)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def format_log_line(record: LogRecord, *, format: str = "clf") -> str:
+    """Render one record in the given dialect.
+
+    CLF carries whole seconds and squid milliseconds; a record whose
+    time does not fit the dialect's resolution would not round-trip, so
+    it is rejected instead of silently truncated.
+    """
+    if format not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {format!r}; known: {LOG_FORMATS}"
+        )
+    if format == "clf":
+        if record.time != int(record.time):
+            raise TraceFormatError(
+                f"CLF timestamps have whole-second resolution; "
+                f"{record.time!r} would not round-trip"
+            )
+        if record.host.startswith("#"):
+            # CLF lines open with the host; the parser would read this
+            # record back as a comment and drop it.
+            raise TraceFormatError(
+                f"host {record.host!r} would serialize as a comment line"
+            )
+        stamp = datetime.fromtimestamp(int(record.time), tz=timezone.utc)
+        date_text = (
+            f"{stamp.day:02d}/{_MONTHS[stamp.month - 1]}/{stamp.year:04d}"
+            f":{stamp.hour:02d}:{stamp.minute:02d}:{stamp.second:02d} +0000"
+        )
+        return (
+            f"{record.host} - - [{date_text}] "
+            f'"{record.method} {record.url} HTTP/1.0" '
+            f"{record.status} {record.size}"
+        )
+    if round(record.time, 3) != record.time:
+        raise TraceFormatError(
+            f"squid timestamps have millisecond resolution; "
+            f"{record.time!r} would not round-trip"
+        )
+    return (
+        f"{record.time:.3f} 0 {record.host} TCP_MISS/{record.status} "
+        f"{record.size} {record.method} {record.url} - DIRECT/- -"
+    )
+
+
+def serialize_log(
+    records: Sequence[LogRecord], *, format: str = "clf"
+) -> str:
+    """Render records as a log string (one line each, trailing newline)."""
+    lines = [format_log_line(record, format=format) for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Update inference
+# ----------------------------------------------------------------------
+def infer_update_times(
+    records: Sequence[LogRecord], *, rule: str = "size_change"
+) -> Dict[str, List[Seconds]]:
+    """Per-URL update instants inferred from request rows.
+
+    Only successful (2xx) responses are considered.  Under
+    ``size_change`` the first sighting of a URL and every subsequent
+    response whose size differs from the previous one count as updates;
+    under ``every_request`` every successful response does.  Same-URL
+    rows sharing an instant collapse to one update (a trace cannot hold
+    two updates at the same time).
+    """
+    if rule not in UPDATE_RULES:
+        raise ValueError(f"unknown update rule {rule!r}; known: {UPDATE_RULES}")
+    ordered = sorted(records, key=lambda r: r.time)
+    times: Dict[str, List[Seconds]] = {}
+    last_size: Dict[str, int] = {}
+    for record in ordered:
+        if not 200 <= record.status < 300:
+            continue
+        changed = (
+            True
+            if rule == "every_request"
+            else record.url not in last_size
+            or last_size[record.url] != record.size
+        )
+        last_size[record.url] = record.size
+        if not changed:
+            continue
+        bucket = times.setdefault(record.url, [])
+        if not bucket or record.time > bucket[-1]:
+            bucket.append(record.time)
+    return times
+
+
+def log_to_traces(
+    records: Sequence[LogRecord],
+    objects: Sequence[str],
+    *,
+    rule: str = "size_change",
+    time_scale: float = 1.0,
+    url_map: Optional[Mapping[str, str]] = None,
+) -> List[UpdateTrace]:
+    """Map a parsed log to one :class:`UpdateTrace` per object key.
+
+    Every object key names a URL directly, or through ``url_map``
+    (object key → URL).  All traces share one observation window —
+    simulation time 0 is the log's first request and the window closes
+    at its last, both scaled by ``time_scale`` (0.5 replays twice as
+    fast).  Traces come back in ``objects`` order.
+    """
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be > 0, got {time_scale}")
+    if not records:
+        raise TraceFormatError("empty log: no records to replay")
+    by_url = infer_update_times(records, rule=rule)
+    origin = min(record.time for record in records)
+    window_end = (max(record.time for record in records) - origin) * time_scale
+    traces = []
+    mapping = url_map or {}
+    for key in objects:
+        url = mapping.get(key, key)
+        instants = by_url.get(url)
+        if instants is None:
+            raise ValueError(
+                f"object {key!r} maps to url {url!r}, which never appears "
+                f"with a 2xx status in the log; urls seen: {sorted(by_url)}"
+            )
+        traces.append(
+            trace_from_times(
+                ObjectId(key),
+                [(t - origin) * time_scale for t in instants],
+                start_time=0.0,
+                end_time=window_end,
+                metadata=TraceMetadata(
+                    name=key,
+                    description=f"replayed from access log ({rule})",
+                    source="log_replay",
+                ),
+            )
+        )
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Synthetic fixtures
+# ----------------------------------------------------------------------
+def generate_synthetic_log(
+    seed: int,
+    *,
+    urls: Sequence[str] = ("/index.html", "/news/front", "/quote/ticker"),
+    duration_s: float = 3600.0,
+    mean_interval_s: float = 30.0,
+    change_probability: float = 0.3,
+    start_epoch: int = 1_000_000_000,
+) -> List[LogRecord]:
+    """A deterministic request log for shareable fixtures.
+
+    Requests arrive with exponential gaps (rounded up to whole seconds,
+    so the output serializes losslessly in both dialects); each request
+    picks a URL — the first pass covers every URL once, so short logs
+    still mention the whole population — and with ``change_probability``
+    the response size bumps, which the ``size_change`` rule reads as an
+    update.  Identical ``seed`` and knobs always yield identical logs.
+    """
+    if not urls:
+        raise ValueError("urls must be non-empty")
+    if duration_s <= 0 or mean_interval_s <= 0:
+        raise ValueError(
+            "duration_s and mean_interval_s must be > 0, got "
+            f"{duration_s} and {mean_interval_s}"
+        )
+    if not 0.0 <= change_probability <= 1.0:
+        raise ValueError(
+            f"change_probability must be in [0, 1], got {change_probability}"
+        )
+    rng = random.Random(seed)
+    url_list = list(urls)
+    sizes = {url: 1000 + 64 * index for index, url in enumerate(url_list)}
+    records: List[LogRecord] = []
+    time = float(start_epoch)
+    index = 0
+    while True:
+        time += max(1.0, float(round(rng.expovariate(1.0 / mean_interval_s))))
+        if time > start_epoch + duration_s:
+            break
+        url = (
+            url_list[index]
+            if index < len(url_list)
+            else rng.choice(url_list)
+        )
+        if rng.random() < change_probability:
+            sizes[url] += rng.randrange(1, 128)
+        records.append(
+            LogRecord(
+                time=time,
+                host=f"10.0.0.{rng.randrange(1, 255)}",
+                method="GET",
+                url=url,
+                status=200,
+                size=sizes[url],
+            )
+        )
+        index += 1
+    return records

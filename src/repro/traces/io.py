@@ -60,11 +60,14 @@ def read_csv(
             records = _read_csv_stream(handle)
     else:
         records = _read_csv_stream(source)
+    # The observation window opens at the first recorded update unless
+    # the caller says otherwise: defaulting to 0.0 would silently
+    # inflate `duration` for traces that start late (e.g. t=3600).
     first_time = records[0].time if records else 0.0
     return UpdateTrace(
         ObjectId(object_id),
         records,
-        start_time=start_time if start_time is not None else min(0.0, first_time),
+        start_time=start_time if start_time is not None else first_time,
         end_time=end_time,
         metadata=metadata,
     )
@@ -121,6 +124,37 @@ def to_json_dict(trace: UpdateTrace) -> dict:
     }
 
 
+def _record_from_json(index: int, raw: object) -> UpdateRecord:
+    """Validate one JSON record; errors name the offending index.
+
+    Without this, a non-numeric ``time`` or ``version`` would slide
+    straight into :class:`UpdateRecord` and only crash much later,
+    deep inside the kernel's event comparisons.
+    """
+    if not isinstance(raw, dict):
+        raise TraceFormatError(
+            f"record {index}: expected an object, got {type(raw).__name__}"
+        )
+    time = raw.get("time")
+    if isinstance(time, bool) or not isinstance(time, (int, float)):
+        raise TraceFormatError(
+            f"record {index}: 'time' must be a number, got {time!r}"
+        )
+    version = raw.get("version")
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise TraceFormatError(
+            f"record {index}: 'version' must be an integer, got {version!r}"
+        )
+    value = raw.get("value")
+    if value is not None and (
+        isinstance(value, bool) or not isinstance(value, (int, float))
+    ):
+        raise TraceFormatError(
+            f"record {index}: 'value' must be a number or null, got {value!r}"
+        )
+    return UpdateRecord(float(time), version, None if value is None else float(value))
+
+
 def from_json_dict(data: dict) -> UpdateTrace:
     """Rebuild a trace from :func:`to_json_dict` output."""
     try:
@@ -137,8 +171,8 @@ def from_json_dict(data: dict) -> UpdateTrace:
             value_unit=meta.get("value_unit"),
         )
         records = [
-            UpdateRecord(r["time"], r["version"], r.get("value"))
-            for r in data["records"]
+            _record_from_json(index, r)
+            for index, r in enumerate(data["records"])
         ]
         return UpdateTrace(
             ObjectId(data["object_id"]),
@@ -180,6 +214,19 @@ def trace_to_csv_string(trace: UpdateTrace) -> str:
     return buffer.getvalue()
 
 
-def trace_from_csv_string(text: str, object_id: str, **kwargs) -> UpdateTrace:
+def trace_from_csv_string(
+    text: str,
+    object_id: str,
+    *,
+    start_time: Optional[float] = None,
+    end_time: Optional[float] = None,
+    metadata: Optional[TraceMetadata] = None,
+) -> UpdateTrace:
     """Parse a trace from a CSV string (convenience for tests/examples)."""
-    return read_csv(io.StringIO(text), object_id, **kwargs)
+    return read_csv(
+        io.StringIO(text),
+        object_id,
+        start_time=start_time,
+        end_time=end_time,
+        metadata=metadata,
+    )

@@ -50,9 +50,10 @@ class ValueTraceSummary:
 
     @property
     def mean_tick_interval(self) -> Seconds:
-        if self.update_count == 0:
+        # n ticks span n-1 gaps; a single tick has no interval at all.
+        if self.update_count <= 1:
             return math.inf
-        return self.duration / self.update_count
+        return self.duration / (self.update_count - 1)
 
 
 def summarize_temporal(trace: UpdateTrace) -> TemporalTraceSummary:

@@ -200,6 +200,33 @@ class TestGroupRegistry:
         registry.create_group("g2", (C, D), 5.0)
         assert registry.all_members() == {A, B, C, D}
 
+    def test_create_group_rejects_single_member(self):
+        with pytest.raises(ValueError, match=">= 2 members"):
+            GroupRegistry().create_group("g", (A,), 5.0)
+
+    def test_create_group_rejects_empty_members(self):
+        with pytest.raises(ValueError, match="2 members"):
+            GroupRegistry().create_group("g", (), 5.0)
+
+    def test_create_group_rejects_duplicate_members(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GroupRegistry().create_group("g", (A, B, A), 5.0)
+
+    def test_add_group_revalidates_bypassed_spec(self):
+        # A spec smuggled past GroupSpec.__post_init__ must still be
+        # rejected at registration, or the member index double-counts.
+        from repro.core.types import GroupSpec
+
+        spec = object.__new__(GroupSpec)
+        object.__setattr__(spec, "group_id", GroupId("g"))
+        object.__setattr__(spec, "members", (A, A))
+        object.__setattr__(spec, "mutual_delta", 5.0)
+        registry = GroupRegistry()
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add_group(spec)
+        assert len(registry) == 0
+        assert registry.groups_of(A) == []
+
 
 class TestGroupsFromComponents:
     def test_one_group_per_component(self):

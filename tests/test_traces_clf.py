@@ -1,0 +1,355 @@
+"""Access-log ingestion: CLF/squid parsing and replay (property-based).
+
+The round-trip properties pin the contract :mod:`repro.traces.clf`
+documents — ``parse(serialize(records)) == records`` in both dialects —
+plus the strict, line-numbered rejection of malformed input.  The trace
+io round-trips (CSV and JSON) ride along here because the replay path
+leans on them for archiving inferred traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TraceFormatError
+from repro.core.types import ObjectId
+from repro.traces.clf import (
+    LogRecord,
+    format_log_line,
+    generate_synthetic_log,
+    infer_update_times,
+    log_to_traces,
+    parse_log,
+    serialize_log,
+)
+from repro.traces.io import (
+    from_json_dict,
+    to_json_dict,
+    trace_from_csv_string,
+    trace_to_csv_string,
+)
+from repro.traces.model import trace_from_ticks, trace_from_times
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+# Log fields are free-form but whitespace-free and quote-free (LogRecord
+# enforces it); printable ASCII otherwise.
+_field_text = st.text(
+    alphabet=st.characters(
+        min_codepoint=33, max_codepoint=126, blacklist_characters='"'
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+# CLF carries whole seconds, squid milliseconds; generate times at the
+# dialect's native resolution so serialization cannot refuse them.
+_clf_records = st.lists(
+    st.builds(
+        LogRecord,
+        time=st.integers(min_value=0, max_value=2_000_000_000).map(float),
+        # A host opening with '#' would serialize as a comment line;
+        # format_log_line rejects those (covered by a unit test below).
+        host=_field_text.filter(lambda h: not h.startswith("#")),
+        method=_field_text,
+        url=_field_text,
+        status=st.integers(min_value=100, max_value=599),
+        size=st.integers(min_value=0, max_value=10**9),
+    ),
+    max_size=20,
+)
+
+_squid_records = st.lists(
+    st.builds(
+        LogRecord,
+        time=st.integers(min_value=0, max_value=10**12).map(
+            lambda ms: ms / 1000.0
+        ),
+        host=_field_text,
+        method=_field_text,
+        url=_field_text,
+        status=st.integers(min_value=100, max_value=599),
+        size=st.integers(min_value=0, max_value=10**9),
+    ),
+    max_size=20,
+)
+
+_update_times = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=30,
+    unique=True,
+)
+
+
+class TestLogRoundTripProperties:
+    @given(_clf_records)
+    @settings(max_examples=100)
+    def test_clf_parse_serialize_parse_is_identity(self, records):
+        assert parse_log(serialize_log(records, format="clf")) == records
+
+    @given(_squid_records)
+    @settings(max_examples=100)
+    def test_squid_parse_serialize_parse_is_identity(self, records):
+        text = serialize_log(records, format="squid")
+        assert parse_log(text, format="squid") == records
+
+    @given(_clf_records, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50)
+    def test_malformed_clf_line_rejected_with_line_number(
+        self, records, position
+    ):
+        lines = serialize_log(records, format="clf").splitlines()
+        position = min(position, len(lines))
+        lines.insert(position, "this is not a log line")
+        with pytest.raises(TraceFormatError, match=f"line {position + 1}:"):
+            parse_log(lines)
+
+    @given(_squid_records, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=50)
+    def test_malformed_squid_line_rejected_with_line_number(
+        self, records, position
+    ):
+        lines = serialize_log(records, format="squid").splitlines()
+        position = min(position, len(lines))
+        lines.insert(position, "truncated")
+        with pytest.raises(TraceFormatError, match=f"line {position + 1}:"):
+            parse_log(lines, format="squid")
+
+    @given(_clf_records)
+    @settings(max_examples=25)
+    def test_blank_and_comment_lines_are_transparent(self, records):
+        lines = serialize_log(records, format="clf").splitlines()
+        noisy = ["# header", ""]
+        for line in lines:
+            noisy.extend([line, "", "# noise"])
+        assert parse_log(noisy) == records
+
+
+class TestTraceIoRoundTripProperties:
+    @given(_update_times)
+    @settings(max_examples=100)
+    def test_csv_round_trip_preserves_records_and_window(self, times):
+        trace = trace_from_times(ObjectId("x"), times, start_time=min(times))
+        back = trace_from_csv_string(trace_to_csv_string(trace), "x")
+        assert [(r.time, r.version) for r in back.records] == [
+            (r.time, r.version) for r in trace.records
+        ]
+        # The window default opens at the first record (the PR-8 fix),
+        # so a trace whose window starts at its first update survives.
+        assert back.start_time == trace.start_time
+
+    @given(
+        _update_times,
+        st.floats(
+            min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=100)
+    def test_json_round_trip_is_lossless(self, times, tail):
+        end = max(times) + abs(tail)
+        trace = trace_from_times(
+            ObjectId("x"), times, start_time=0.0, end_time=end
+        )
+        data = json.loads(json.dumps(to_json_dict(trace)))
+        back = from_json_dict(data)
+        assert back.object_id == trace.object_id
+        assert back.start_time == trace.start_time
+        assert back.end_time == trace.end_time
+        assert [(r.time, r.version, r.value) for r in back.records] == [
+            (r.time, r.version, r.value) for r in trace.records
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.floats(
+                    min_value=-1e9,
+                    max_value=1e9,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=100)
+    def test_valued_csv_round_trip_is_lossless(self, ticks):
+        trace = trace_from_ticks(ObjectId("v"), ticks)
+        back = trace_from_csv_string(trace_to_csv_string(trace), "v")
+        assert [(r.time, r.value) for r in back.records] == [
+            (r.time, r.value) for r in trace.records
+        ]
+
+
+class TestClfParsing:
+    def test_known_clf_line(self):
+        line = (
+            '10.0.0.7 - alice [01/Jan/2001:00:00:05 +0000] '
+            '"GET /index.html HTTP/1.0" 200 2326'
+        )
+        (record,) = parse_log(line)
+        assert record.host == "10.0.0.7"
+        assert record.method == "GET"
+        assert record.url == "/index.html"
+        assert record.status == 200
+        assert record.size == 2326
+        assert record.time == 978307205.0  # 2001-01-01T00:00:05Z
+
+    def test_clf_timezone_offset_applied(self):
+        east = '- - - [01/Jan/2001:01:00:00 +0100] "GET /a HTTP/1.0" 200 1'
+        utc = '- - - [01/Jan/2001:00:00:00 +0000] "GET /a HTTP/1.0" 200 1'
+        assert parse_log(east)[0].time == parse_log(utc)[0].time
+
+    def test_clf_missing_size_dash_reads_as_zero(self):
+        line = '- - - [01/Jan/2001:00:00:00 +0000] "GET /a HTTP/1.0" 304 -'
+        assert parse_log(line)[0].size == 0
+
+    def test_bad_timestamp_names_line(self):
+        good = '- - - [01/Jan/2001:00:00:00 +0000] "GET /a HTTP/1.0" 200 1'
+        bad = '- - - [99/Zzz/2001:00:00:00 +0000] "GET /a HTTP/1.0" 200 1'
+        with pytest.raises(TraceFormatError, match="line 2"):
+            parse_log([good, bad])
+
+    def test_bad_request_field_rejected(self):
+        line = '- - - [01/Jan/2001:00:00:00 +0000] "" 200 1'
+        with pytest.raises(TraceFormatError, match="request"):
+            parse_log(line)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            parse_log("", format="nginx")
+
+    def test_clf_serializer_rejects_fractional_seconds(self):
+        record = LogRecord(1.5, "h", "GET", "/a", 200, 1)
+        with pytest.raises(TraceFormatError, match="whole-second"):
+            format_log_line(record, format="clf")
+
+    def test_squid_serializer_rejects_sub_millisecond(self):
+        record = LogRecord(1.0001, "h", "GET", "/a", 200, 1)
+        with pytest.raises(TraceFormatError, match="millisecond"):
+            format_log_line(record, format="squid")
+
+    def test_clf_serializer_rejects_comment_lookalike_host(self):
+        # Found by hypothesis: a '#'-leading host serializes to a line
+        # the parser skips as a comment, breaking the round trip.
+        record = LogRecord(1.0, "#host", "GET", "/a", 200, 1)
+        with pytest.raises(TraceFormatError, match="comment"):
+            format_log_line(record, format="clf")
+        # Squid lines open with the timestamp, so the same host is fine.
+        assert parse_log(
+            format_log_line(record, format="squid"), format="squid"
+        ) == [record]
+
+
+class TestUpdateInference:
+    def _record(self, time, url, size, status=200):
+        return LogRecord(float(time), "h", "GET", url, status, size)
+
+    def test_size_change_counts_first_sighting_and_changes(self):
+        records = [
+            self._record(1, "/a", 100),
+            self._record(2, "/a", 100),  # unchanged: no update
+            self._record(3, "/a", 120),  # changed
+            self._record(4, "/b", 50),  # first sighting
+        ]
+        times = infer_update_times(records)
+        assert times == {"/a": [1.0, 3.0], "/b": [4.0]}
+
+    def test_every_request_counts_all_successes(self):
+        records = [
+            self._record(1, "/a", 100),
+            self._record(2, "/a", 100),
+        ]
+        times = infer_update_times(records, rule="every_request")
+        assert times == {"/a": [1.0, 2.0]}
+
+    def test_non_2xx_ignored(self):
+        records = [
+            self._record(1, "/a", 100, status=404),
+            self._record(2, "/a", 100, status=304),
+        ]
+        assert infer_update_times(records) == {}
+
+    def test_same_instant_collapses(self):
+        records = [
+            self._record(5, "/a", 100),
+            self._record(5, "/a", 120),
+        ]
+        assert infer_update_times(records) == {"/a": [5.0]}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="rule"):
+            infer_update_times([], rule="mtime")
+
+
+class TestLogToTraces:
+    def test_window_is_shared_and_rebased(self):
+        records = [
+            LogRecord(100.0, "h", "GET", "/a", 200, 1),
+            LogRecord(160.0, "h", "GET", "/b", 200, 2),
+        ]
+        trace_a, trace_b = log_to_traces(records, ["/a", "/b"])
+        assert trace_a.start_time == trace_b.start_time == 0.0
+        assert trace_a.end_time == trace_b.end_time == 60.0
+        assert [r.time for r in trace_a.records] == [0.0]
+        assert [r.time for r in trace_b.records] == [60.0]
+
+    def test_time_scale_compresses_replay(self):
+        records = [
+            LogRecord(0.0, "h", "GET", "/a", 200, 1),
+            LogRecord(100.0, "h", "GET", "/a", 200, 2),
+        ]
+        (trace,) = log_to_traces(records, ["/a"], time_scale=0.5)
+        assert trace.end_time == 50.0
+        assert [r.time for r in trace.records] == [0.0, 50.0]
+
+    def test_url_map_names_objects(self):
+        records = [LogRecord(0.0, "h", "GET", "/deep/path", 200, 1)]
+        (trace,) = log_to_traces(
+            records, ["page"], url_map={"page": "/deep/path"}
+        )
+        assert trace.object_id == ObjectId("page")
+
+    def test_unknown_url_rejected(self):
+        records = [LogRecord(0.0, "h", "GET", "/a", 200, 1)]
+        with pytest.raises(ValueError, match="never appears"):
+            log_to_traces(records, ["/missing"])
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            log_to_traces([], ["/a"])
+
+
+class TestSyntheticLog:
+    def test_deterministic_for_seed(self):
+        assert generate_synthetic_log(7) == generate_synthetic_log(7)
+
+    def test_round_trips_in_both_dialects(self):
+        records = generate_synthetic_log(3, duration_s=600.0)
+        assert parse_log(serialize_log(records, format="clf")) == records
+        assert (
+            parse_log(
+                serialize_log(records, format="squid"), format="squid"
+            )
+            == records
+        )
+
+    def test_covers_every_url(self):
+        records = generate_synthetic_log(1, duration_s=3600.0)
+        assert {r.url for r in records} == {
+            "/index.html",
+            "/news/front",
+            "/quote/ticker",
+        }

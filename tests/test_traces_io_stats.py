@@ -83,6 +83,23 @@ class TestCsvRoundTrip:
         trace = read_csv(io.StringIO(""), "x")
         assert trace.update_count == 0
 
+    def test_default_start_time_is_first_record(self):
+        # Regression: the old default min(0.0, first_time) silently
+        # stretched late-starting traces back to t=0, inflating duration.
+        trace = read_csv(
+            io.StringIO("time,version,value\n3600.0,0,\n7200.0,1,\n"), "x"
+        )
+        assert trace.start_time == 3600.0
+        assert trace.duration == 3600.0
+
+    def test_explicit_start_time_overrides_default(self):
+        trace = read_csv(
+            io.StringIO("time,version,value\n3600.0,0,\n"),
+            "x",
+            start_time=0.0,
+        )
+        assert trace.start_time == 0.0
+
 
 class TestJsonRoundTrip:
     def test_round_trip_preserves_everything(self, tmp_path, valued_trace):
@@ -126,6 +143,43 @@ class TestJsonRoundTrip:
         with pytest.raises(TraceFormatError):
             read_json(io.StringIO("[1, 2, 3]"))
 
+    def test_non_dict_record_rejected_with_index(self, simple_trace):
+        data = to_json_dict(simple_trace)
+        data["records"][3] = [1.0, 3]
+        with pytest.raises(TraceFormatError, match="record 3"):
+            from_json_dict(data)
+
+    def test_non_numeric_time_rejected_with_index(self, simple_trace):
+        data = to_json_dict(simple_trace)
+        data["records"][1]["time"] = "100.0"
+        with pytest.raises(TraceFormatError, match="record 1: 'time'"):
+            from_json_dict(data)
+
+    def test_bool_time_rejected(self, simple_trace):
+        # bool is an int subclass; it must not pass as a timestamp.
+        data = to_json_dict(simple_trace)
+        data["records"][0]["time"] = True
+        with pytest.raises(TraceFormatError, match="record 0: 'time'"):
+            from_json_dict(data)
+
+    def test_non_integer_version_rejected_with_index(self, simple_trace):
+        data = to_json_dict(simple_trace)
+        data["records"][2]["version"] = 2.5
+        with pytest.raises(TraceFormatError, match="record 2: 'version'"):
+            from_json_dict(data)
+
+    def test_non_numeric_value_rejected_with_index(self, valued_trace):
+        data = to_json_dict(valued_trace)
+        data["records"][4]["value"] = "high"
+        with pytest.raises(TraceFormatError, match="record 4: 'value'"):
+            from_json_dict(data)
+
+    def test_integral_fields_coerced_to_float(self, simple_trace):
+        data = to_json_dict(simple_trace)
+        data["records"][0]["time"] = 100  # JSON int, still a valid time
+        back = from_json_dict(data)
+        assert isinstance(back.records[0].time, float)
+
 
 class TestStats:
     def test_summarize_temporal(self, simple_trace):
@@ -149,6 +203,19 @@ class TestStats:
     def test_summarize_value_rejects_temporal_trace(self, simple_trace):
         with pytest.raises(ValueError, match="value"):
             summarize_value(simple_trace)
+
+    def test_mean_tick_interval_divides_by_gap_count(self):
+        # Regression: n ticks span n-1 gaps, not n.  Three ticks over
+        # [0, 20] are 10 s apart, not 20/3.
+        trace = trace_from_ticks(
+            ObjectId("v"), [(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)]
+        )
+        summary = summarize_value(trace)
+        assert summary.mean_tick_interval == pytest.approx(10.0)
+
+    def test_mean_tick_interval_single_tick_is_infinite(self):
+        trace = trace_from_ticks(ObjectId("v"), [(5.0, 1.0)])
+        assert math.isinf(summarize_value(trace).mean_tick_interval)
 
     def test_inter_update_gaps(self, simple_trace):
         gaps = inter_update_gaps(simple_trace)
