@@ -668,7 +668,7 @@ class GroupsConfig(_ConfigBase):
 
 
 #: SimulationConfig fields holding a nested sub-config, with their types.
-_SUB_CONFIGS: Dict[str, type] = {
+_SUB_CONFIGS: Dict[str, Type[_ConfigBase]] = {
     "workload": WorkloadConfig,
     "policy": PolicyConfig,
     "topology": TopologyConfig,

@@ -24,6 +24,12 @@ The declarative scenario engine has its own command group::
     python -m repro scenarios run flash_crowd --workers 4
     python -m repro scenarios run figure3 --params trace=guardian
     python -m repro scenarios run diurnal --values 0.0 0.5 1.0 --json
+
+So does the static analyzer (:mod:`repro.lint`)::
+
+    python -m repro lint                      # lint src/ (default)
+    python -m repro lint --list-rules         # rule catalogue
+    python -m repro lint src --format json    # machine-readable report
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     figure3,
@@ -57,12 +63,15 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.workloads import DEFAULT_SEED
 
+#: A runner renders one experiment from the parsed CLI namespace.
+_Runner = Callable[[argparse.Namespace], str]
+
 #: Experiment name → (description, runner taking the parsed namespace).
-_EXPERIMENTS: Dict[str, tuple] = {}
+_EXPERIMENTS: Dict[str, Tuple[str, _Runner]] = {}
 
 
-def _register(name: str, description: str):
-    def wrap(func: Callable[[argparse.Namespace], str]):
+def _register(name: str, description: str) -> Callable[[_Runner], _Runner]:
+    def wrap(func: _Runner) -> _Runner:
         _EXPERIMENTS[name] = (description, func)
         return func
 
@@ -183,6 +192,10 @@ def _list_experiments() -> str:
     lines.append(
         "Typed configs: `python -m repro run --config cfg.json` "
         "executes a repro.api.SimulationConfig JSON file."
+    )
+    lines.append(
+        "Static analysis: `python -m repro lint` checks determinism "
+        "and hot-path invariants (rules: `lint --list-rules`)."
     )
     return "\n".join(lines)
 
@@ -470,6 +483,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "run":
         return _run_config_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":

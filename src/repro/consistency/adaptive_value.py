@@ -20,7 +20,7 @@ little temporal locality (small α → frequent polls).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.analysis.rates import ValueRateEstimator
 from repro.consistency.base import RefreshPolicy, ViolationJudgement
@@ -212,7 +212,7 @@ def adaptive_value_policy_factory(
     ttr_min: Seconds,
     ttr_max: Seconds,
     parameters: AdaptiveValueParameters = AdaptiveValueParameters(),
-):
+) -> Callable[[ObjectId], AdaptiveValueTTRPolicy]:
     """Factory producing an :class:`AdaptiveValueTTRPolicy` per object."""
     bounds = TTRBounds(ttr_min=ttr_min, ttr_max=ttr_max)
 

@@ -39,6 +39,7 @@ from repro.server.origin import OriginServer
 from repro.sim.kernel import Kernel
 from repro.sim.stats import Counter
 from repro.topology.push import PushFanout
+from repro.traces.model import UpdateTrace
 
 # The canonical home of the push-callback signature moved to the
 # topology layer; the redundant alias keeps old imports working.
@@ -148,7 +149,9 @@ class PushUpdateFeeder:
     updates are applied via the channel so subscribers get notified.
     """
 
-    def __init__(self, kernel: Kernel, channel: PushChannel, trace) -> None:
+    def __init__(
+        self, kernel: Kernel, channel: PushChannel, trace: UpdateTrace
+    ) -> None:
         self._kernel = kernel
         self._channel = channel
         self._trace = trace

@@ -25,7 +25,7 @@ and failure recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.consistency.base import RefreshPolicy, ViolationJudgement
 from repro.consistency.detection import ViolationDetector, make_detector
@@ -248,7 +248,7 @@ def limd_policy_factory(
     ttr_max: Optional[Seconds] = None,
     parameters: LimdParameters = LimdParameters(),
     detection_mode: str = "history",
-):
+) -> Callable[[ObjectId], LimdPolicy]:
     """Factory producing an independent :class:`LimdPolicy` per object.
 
     Args:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.rates import UpdateRateEstimator
 from repro.core.events import PollReason
@@ -260,7 +260,7 @@ def make_mutual_temporal_coordinator(
     proxy: ProxyCache,
     groups: GroupRegistry,
     mode: str,
-    **kwargs,
+    **kwargs: Any,
 ) -> MutualTemporalCoordinator:
     """Build a coordinator from a mode string (none/triggered/heuristic)."""
     return MutualTemporalCoordinator(

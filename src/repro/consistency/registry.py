@@ -10,7 +10,7 @@ workload-source lookups use.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.core.registry import Registry
 
@@ -55,7 +55,7 @@ def available_policies() -> list[str]:
     return POLICIES.names()
 
 
-def build_policy_factory(name: str, **kwargs) -> PolicyFactory:
+def build_policy_factory(name: str, **kwargs: Any) -> PolicyFactory:
     """Build a policy factory by registered name.
 
     Built-in names: ``baseline`` (fixed-interval poller), ``limd``,

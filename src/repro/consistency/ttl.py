@@ -20,6 +20,7 @@ coordinators — and compared head-to-head (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.consistency.base import RefreshPolicy
 from repro.core.errors import PolicyConfigurationError
@@ -136,7 +137,7 @@ class AlexTTLPolicy(RefreshPolicy):
         )
 
 
-def static_ttl_policy_factory(ttl: Seconds):
+def static_ttl_policy_factory(ttl: Seconds) -> Callable[[ObjectId], StaticTTLPolicy]:
     """Factory for :class:`StaticTTLPolicy`."""
 
     def make(_object_id: ObjectId) -> StaticTTLPolicy:
@@ -150,7 +151,7 @@ def alex_policy_factory(
     ttr_min: Seconds,
     ttr_max: Seconds,
     update_threshold: float = 0.2,
-):
+) -> Callable[[ObjectId], AlexTTLPolicy]:
     """Factory for :class:`AlexTTLPolicy`."""
     bounds = TTRBounds(ttr_min=ttr_min, ttr_max=ttr_max)
     parameters = AlexParameters(update_threshold=update_threshold)

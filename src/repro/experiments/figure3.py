@@ -15,7 +15,7 @@ fidelity → 1) once Δ exceeds the mean update interval.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.consistency.base import fixed_policy_factory
 from repro.consistency.limd import LimdParameters, limd_policy_factory
@@ -96,7 +96,7 @@ def run(
     ).sweep
 
 
-def render(result: Optional[SweepResult] = None, **kwargs) -> str:
+def render(result: Optional[SweepResult] = None, **kwargs: Any) -> str:
     """Render the Figure 3 sweep as ASCII tables."""
     if result is None:
         result = run(**kwargs)

@@ -9,7 +9,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.analysis.timeseries import Series
 from repro.consistency.limd import limd_policy_factory
@@ -84,7 +84,7 @@ def run(
     return Figure4Result(update_frequency=updates, ttr=ttr, run=result)
 
 
-def render(result: Optional[Figure4Result] = None, **kwargs) -> str:
+def render(result: Optional[Figure4Result] = None, **kwargs: Any) -> str:
     """Render both series as sparklines with their ranges."""
     if result is None:
         result = run(**kwargs)

@@ -11,7 +11,7 @@ Compares the three Section 3.2 approaches on a pair of news traces
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.consistency.limd import limd_policy_factory
 from repro.consistency.mutual_temporal import MutualTemporalMode
@@ -114,7 +114,7 @@ def run(
     ).sweep
 
 
-def render(result: Optional[SweepResult] = None, **kwargs) -> str:
+def render(result: Optional[SweepResult] = None, **kwargs: Any) -> str:
     """Render the Figure 5 sweep as an ASCII table."""
     if result is None:
         result = run(**kwargs)

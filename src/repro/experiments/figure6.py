@@ -14,7 +14,7 @@ drop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.analysis.timeseries import Series
 from repro.consistency.limd import limd_policy_factory
@@ -92,7 +92,7 @@ def run(
     )
 
 
-def render(result: Optional[Figure6Result] = None, **kwargs) -> str:
+def render(result: Optional[Figure6Result] = None, **kwargs: Any) -> str:
     """Render the Figure 6 series as ASCII sparklines."""
     if result is None:
         result = run(**kwargs)

@@ -13,7 +13,7 @@ cost of more polls.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.consistency.mutual_value import difference
 from repro.core.types import TTRBounds
@@ -94,7 +94,7 @@ def run(
     ).sweep
 
 
-def render(result: Optional[SweepResult] = None, **kwargs) -> str:
+def render(result: Optional[SweepResult] = None, **kwargs: Any) -> str:
     """Render the Figure 7 sweep as an ASCII table."""
     if result is None:
         result = run(**kwargs)

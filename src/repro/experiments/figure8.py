@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.analysis.timeseries import Series
 from repro.consistency.mutual_value import difference, paired_f_history
@@ -68,8 +68,8 @@ def _f_reversed(a: float, b: float) -> float:
 def _run_approach(
     which: str,
     *,
-    trace_a,
-    trace_b,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
     mutual_delta: float,
     window: Tuple[Seconds, Seconds],
     bounds: TTRBounds,
@@ -91,7 +91,7 @@ def _run_approach(
     return series, result
 
 
-def _approach_point(which: str, **kwargs) -> Series:
+def _approach_point(which: str, **kwargs: Any) -> Series:
     """Picklable run-spec: one approach's proxy series, sans live state."""
     series, _ = _run_approach(which, **kwargs)
     return series
@@ -155,7 +155,7 @@ def run(
     )
 
 
-def render(result: Optional[Figure8Result] = None, **kwargs) -> str:
+def render(result: Optional[Figure8Result] = None, **kwargs: Any) -> str:
     """Render the three Figure 8 f series as ASCII sparklines."""
     if result is None:
         result = run(**kwargs)

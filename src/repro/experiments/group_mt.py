@@ -14,7 +14,7 @@ Used by ``benchmarks/bench_extension_group_mt.py`` and the CLI
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.limd import limd_policy_factory
 from repro.consistency.mutual_temporal import (
@@ -29,18 +29,24 @@ from repro.scenarios.engine import run_scenario
 from repro.groups.registry import GroupRegistry
 from repro.httpsim.network import Network
 from repro.metrics.collector import temporal_fetches_of
+from repro.metrics.fidelity import FidelityReport
 from repro.metrics.group import group_temporal_fidelity
 from repro.proxy.proxy import ProxyCache
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
+from repro.traces.model import UpdateTrace
 
 DEFAULT_TRIO = ("cnn_fn", "nyt_ap", "nyt_reuters")
 DEFAULT_DELTA: Seconds = 10 * MINUTE
 DEFAULT_MUTUAL_DELTAS = (1.0, 5.0, 10.0, 20.0, 30.0)  # minutes
 
 
-def _run_mode(traces, mutual_delta: Seconds, mode: MutualTemporalMode):
+def _run_mode(
+    traces: Sequence[UpdateTrace],
+    mutual_delta: Seconds,
+    mode: MutualTemporalMode,
+) -> Tuple[ProxyCache, MutualTemporalCoordinator, FidelityReport]:
     kernel = Kernel()
     server = OriginServer()
     feed_traces(kernel, server, traces)
@@ -56,7 +62,7 @@ def _run_mode(traces, mutual_delta: Seconds, mode: MutualTemporalMode):
         proxy.register_object(trace.object_id, server, factory(trace.object_id))
     kernel.run(until=max(trace.end_time for trace in traces))
 
-    trace_map: Dict[ObjectId, object] = {t.object_id: t for t in traces}
+    trace_map: Dict[ObjectId, UpdateTrace] = {t.object_id: t for t in traces}
     fetches = {
         object_id: temporal_fetches_of(proxy, object_id)
         for object_id in members
@@ -65,7 +71,9 @@ def _run_mode(traces, mutual_delta: Seconds, mode: MutualTemporalMode):
     return proxy, coordinator, report
 
 
-def _sweep_point(delta_min: float, *, traces) -> Dict[str, object]:
+def _sweep_point(
+    delta_min: float, *, traces: Sequence[UpdateTrace]
+) -> Dict[str, object]:
     """Picklable run-spec: all three modes at one δ (needed by workers > 1)."""
     mutual_delta = delta_min * MINUTE
     row: Dict[str, object] = {"mutual_delta_min": delta_min}
@@ -106,7 +114,7 @@ def run(
 
 
 def render(
-    rows: List[Dict[str, object]] = None,
+    rows: Optional[List[Dict[str, object]]] = None,
     *,
     seed: int = DEFAULT_SEED,
     trio: Sequence[str] = DEFAULT_TRIO,

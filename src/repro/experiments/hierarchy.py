@@ -11,7 +11,7 @@ Used by ``benchmarks/bench_extension_hierarchy.py`` and by the CLI
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.consistency.limd import LimdPolicy
 from repro.core.types import MINUTE, Seconds, TTRBounds
@@ -45,12 +45,14 @@ def _edge_fidelity(trace: UpdateTrace, proxy: ProxyCache, delta: Seconds) -> flo
     return collect_snapshot_fidelity(proxy, trace, delta).report.fidelity_by_time
 
 
-def _run_flat(trace: UpdateTrace, edge_count: int):
+def _run_flat(
+    trace: UpdateTrace, edge_count: int
+) -> Tuple[OriginServer, List[ProxyCache]]:
     """N edges each polling the origin directly."""
     kernel = Kernel()
     origin = OriginServer()
     feed_traces(kernel, origin, [trace])
-    edges = []
+    edges: List[ProxyCache] = []
     for index in range(edge_count):
         edge = ProxyCache(kernel, Network(kernel), name=f"edge-{index}")
         edge.register_object(trace.object_id, origin, _limd_policy())
@@ -59,14 +61,16 @@ def _run_flat(trace: UpdateTrace, edge_count: int):
     return origin, edges
 
 
-def _run_hierarchy(trace: UpdateTrace, edge_count: int):
+def _run_hierarchy(
+    trace: UpdateTrace, edge_count: int
+) -> Tuple[OriginServer, ProxyCache, List[ProxyCache]]:
     """N edges polling one shared parent; only the parent polls origin."""
     kernel = Kernel()
     origin = OriginServer()
     feed_traces(kernel, origin, [trace])
     parent = ProxyCache(kernel, Network(kernel), name="parent")
     parent.register_object(trace.object_id, origin, _limd_policy())
-    edges = []
+    edges: List[ProxyCache] = []
     for index in range(edge_count):
         edge = ProxyCache(kernel, Network(kernel), name=f"edge-{index}")
         edge.register_object(trace.object_id, parent, _limd_policy())
@@ -75,9 +79,9 @@ def _run_hierarchy(trace: UpdateTrace, edge_count: int):
     return origin, parent, edges
 
 
-def _mean(values) -> float:
-    values = list(values)
-    return sum(values) / len(values)
+def _mean(values: Iterable[float]) -> float:
+    materialized = list(values)
+    return sum(materialized) / len(materialized)
 
 
 def _topology_row(
@@ -126,7 +130,7 @@ def run(
 
 
 def render(
-    rows: List[Dict[str, object]] = None,
+    rows: Optional[List[Dict[str, object]]] = None,
     *,
     seed: int = DEFAULT_SEED,
     trace_key: str = "cnn_fn",

@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 
-def _shim(name: str) -> Callable:
+def _shim(name: str) -> Callable[..., object]:
     target = getattr(_runs, name)
 
     def wrapper(*args: object, **kwargs: object) -> object:

@@ -1,0 +1,131 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the lint gate turn on *strict for new code* without
+first fixing every historical finding: known findings are recorded in
+a committed JSON file and subtracted from each run.  Entries match on
+``(path, code, message)`` — deliberately **not** on line numbers, so
+unrelated edits above a grandfathered finding do not break the build.
+Matching is multiset-style: two identical grandfathered findings need
+two baseline entries, and fixing one surfaces the other.
+
+Baseline entries that no longer match anything are *stale*; they are
+reported (so the file can be pruned with ``--write-baseline``) but do
+not fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+#: Default baseline location, resolved relative to the working
+#: directory (the repository root in CI).
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineMatch:
+    """Outcome of subtracting a baseline from a finding list."""
+
+    new_findings: List[Diagnostic]
+    baselined_count: int
+    stale_entries: List[Dict[str, str]]
+
+
+def _key(path: str, code: str, message: str) -> _Key:
+    return (path, code, message)
+
+
+def load_baseline(path: Path) -> "Counter[_Key]":
+    """Read a baseline file into a matchable multiset of entries."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} must be an object with schema={BASELINE_SCHEMA!r}"
+        )
+    findings = data.get("findings")
+    if not isinstance(findings, list):
+        raise BaselineError(f"baseline {path} must have a 'findings' list")
+    entries: "Counter[_Key]" = Counter()
+    for index, entry in enumerate(findings):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline entry {index} is not an object")
+        try:
+            path_value = entry["path"]
+            code_value = entry["code"]
+            message_value = entry["message"]
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline entry {index} is missing key {exc.args[0]!r}"
+            ) from None
+        if not all(
+            isinstance(value, str)
+            for value in (path_value, code_value, message_value)
+        ):
+            raise BaselineError(
+                f"baseline entry {index} fields must all be strings"
+            )
+        entries[_key(path_value, code_value, message_value)] += 1
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Diagnostic], baseline: "Counter[_Key]"
+) -> BaselineMatch:
+    """Subtract baselined findings; report what is new and what is stale."""
+    remaining = Counter(baseline)
+    new_findings: List[Diagnostic] = []
+    for finding in findings:
+        key = _key(finding.path, finding.code, finding.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new_findings.append(finding)
+    stale = [
+        {"path": path, "code": code, "message": message}
+        for (path, code, message), count in sorted(remaining.items())
+        for _ in range(count)
+    ]
+    baselined = sum(baseline.values()) - sum(remaining.values())
+    return BaselineMatch(
+        new_findings=new_findings,
+        baselined_count=baselined,
+        stale_entries=stale,
+    )
+
+
+def render_baseline(findings: Sequence[Diagnostic]) -> str:
+    """The committed-file content pinning ``findings`` as grandfathered."""
+    payload: Dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {
+                "path": finding.path,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in sorted(findings)
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def write_baseline(path: Path, findings: Sequence[Diagnostic]) -> None:
+    """Write (or truncate) the baseline file for ``findings``."""
+    path.write_text(render_baseline(findings), encoding="utf-8")

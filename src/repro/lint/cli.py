@@ -1,0 +1,163 @@
+"""``repro lint`` — the command-line entry point.
+
+Usage::
+
+    python -m repro lint                      # lint src/ (default)
+    python -m repro lint src tools            # explicit paths
+    python -m repro lint --format json        # machine-readable report
+    python -m repro lint --list-rules         # rule catalogue
+    python -m repro lint --write-baseline     # grandfather current findings
+
+Exit status: 0 when every finding is suppressed or baselined, 1 when
+new findings remain, 2 on usage errors (unknown paths, bad baseline).
+
+The baseline defaults to ``.repro-lint-baseline.json`` in the working
+directory when that file exists; ``--no-baseline`` ignores it and
+``--baseline PATH`` points elsewhere.  ``tools/run_lint.py`` wraps
+this entry point for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    BaselineMatch,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LINT_RULES, LintRun, lint_paths
+from repro.lint.report import render_json, render_rule_catalog, render_text
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism and hot-path invariant checker "
+            "(rule catalogue: --list-rules; docs/ARCHITECTURE.md "
+            "'Static analysis')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "write the current findings to the baseline file "
+            "(grandfathering them) instead of failing on them"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        nargs="*",
+        metavar="CODE",
+        default=None,
+        help="run only these rule codes (e.g. RL101 RL201)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.is_file() or args.write_baseline:
+        return default
+    return None
+
+
+def _run(
+    args: argparse.Namespace, baseline_path: Optional[Path]
+) -> Tuple[LintRun, BaselineMatch]:
+    run = lint_paths(args.paths, only=args.select)
+    if baseline_path is not None and baseline_path.is_file():
+        baseline = load_baseline(baseline_path)
+    else:
+        baseline = Counter()
+    return run, apply_baseline(run.findings, baseline)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro lint`` (and ``tools/run_lint.py``)."""
+    args = build_lint_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_rules:
+        rules = [rule_class() for rule_class in LINT_RULES.values()]
+        print(render_rule_catalog(rules))
+        return 0
+    if args.select:
+        unknown = sorted(set(args.select) - set(LINT_RULES.names()))
+        if unknown:
+            print(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(LINT_RULES.names())}",
+                file=sys.stderr,
+            )
+            return 2
+    baseline_path = _resolve_baseline_path(args)
+    try:
+        run, match = _run(args, baseline_path)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        assert baseline_path is not None  # _resolve_baseline_path guarantees
+        write_baseline(baseline_path, run.findings)
+        print(
+            f"wrote {len(run.findings)} finding(s) to {baseline_path}",
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(run, match))
+    else:
+        print(render_text(run, match))
+    return 1 if match.new_findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/run_lint.py
+    raise SystemExit(main())

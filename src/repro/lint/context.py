@@ -1,0 +1,73 @@
+"""Per-file and per-run context handed to lint rules.
+
+A :class:`FileContext` bundles everything a rule needs to inspect one
+file: the parsed AST, the raw source, the path (split into parts for
+package scoping), a best-effort dotted module name, and the parsed
+suppression directives.  Rules never re-read or re-parse files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Tuple
+
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed source file, ready for rule checks."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    parts: Tuple[str, ...]
+    module: str
+    suppressions: Suppressions
+
+    def in_packages(self, names: Tuple[str, ...]) -> bool:
+        """True when any *directory* component of the path is in ``names``.
+
+        Package scoping is positional, not import-based, so fixture
+        trees (``tests/lint_fixtures/rl101/sim/clock.py``) scope the
+        same way the real tree does (``src/repro/sim/kernel.py``).
+        """
+        return any(part in names for part in self.parts[:-1])
+
+
+def _guess_module(parts: Tuple[str, ...]) -> str:
+    """Dotted module name, rooted at the segment after ``src`` if any."""
+    segments = list(parts)
+    if "src" in segments:
+        segments = segments[segments.index("src") + 1 :]
+    if not segments:
+        return ""
+    leaf = segments[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    segments[-1] = leaf
+    if leaf == "__init__":
+        segments.pop()
+    return ".".join(segments)
+
+
+def build_context(path: str, source: str) -> FileContext:
+    """Parse ``source`` and assemble the rule-facing context.
+
+    Raises:
+        SyntaxError: When the file does not parse; the engine converts
+            this into an ``RL001`` diagnostic.
+    """
+    posix = PurePosixPath(path.replace("\\", "/"))
+    tree = ast.parse(source, filename=str(posix))
+    parts = posix.parts
+    return FileContext(
+        path=str(posix),
+        source=source,
+        tree=tree,
+        parts=parts,
+        module=_guess_module(parts),
+        suppressions=parse_suppressions(source),
+    )

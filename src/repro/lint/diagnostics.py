@@ -1,0 +1,46 @@
+"""Diagnostic records emitted by lint rules.
+
+A :class:`Diagnostic` is one finding: a rule code anchored to a
+file/line/column, with a human-readable message.  Ordering is total
+(path, line, column, code, message) so reports and baselines are
+byte-stable across runs and platforms — the linter holds itself to the
+same determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location.
+
+    Attributes:
+        path: File path as given to the linter (POSIX separators).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        code: Rule code (``RL101``, ...; ``RL001`` is a parse failure).
+        message: Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-reporter encoding (key order is part of the schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

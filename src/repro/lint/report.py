@@ -1,0 +1,77 @@
+"""Text and JSON reporters.
+
+The JSON schema (``repro-lint/1``) is stable, versioned, and pinned by
+``tests/test_lint_report.py``: top-level key order, finding key order,
+and sort order are all part of the contract so CI artifacts diff
+cleanly run over run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.baseline import BaselineMatch
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintRun
+
+REPORT_SCHEMA = "repro-lint/1"
+
+
+def _summary_line(
+    new_count: int, run: LintRun, match: BaselineMatch
+) -> str:
+    parts = [
+        f"{new_count} finding{'s' if new_count != 1 else ''}",
+        f"{run.files_scanned} file{'s' if run.files_scanned != 1 else ''} scanned",
+    ]
+    if run.suppressed_count:
+        parts.append(f"{run.suppressed_count} suppressed inline")
+    if match.baselined_count:
+        parts.append(f"{match.baselined_count} baselined")
+    if match.stale_entries:
+        parts.append(
+            f"{len(match.stale_entries)} stale baseline "
+            f"entr{'ies' if len(match.stale_entries) != 1 else 'y'} "
+            "(prune with --write-baseline)"
+        )
+    return ", ".join(parts)
+
+
+def render_text(run: LintRun, match: BaselineMatch) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = [finding.render() for finding in match.new_findings]
+    lines.append(_summary_line(len(match.new_findings), run, match))
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun, match: BaselineMatch) -> str:
+    """Machine-readable report under the ``repro-lint/1`` schema."""
+    payload: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "files_scanned": run.files_scanned,
+        "findings": [finding.to_dict() for finding in match.new_findings],
+        "suppressed": run.suppressed_count,
+        "baselined": match.baselined_count,
+        "stale_baseline_entries": list(match.stale_entries),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_catalog(rules: Sequence[object]) -> str:
+    """``--list-rules`` output: code, name, scope, and description."""
+    lines: List[str] = ["Registered lint rules:"]
+    for rule in rules:
+        code = getattr(rule, "code", "?")
+        name = getattr(rule, "name", "?")
+        scope = getattr(rule, "scope", ())
+        where = ", ".join(scope) if scope else "repo-wide"
+        description = " ".join(str(getattr(rule, "description", "")).split())
+        lines.append(f"  {code} {name} [{where}]")
+        lines.append(f"      {description}")
+    return "\n".join(lines)
+
+
+def findings_only(findings: Sequence[Diagnostic]) -> List[str]:
+    """Rendered finding lines (no summary), for composing callers."""
+    return [finding.render() for finding in findings]

@@ -1,0 +1,23 @@
+"""Built-in rule pack.
+
+Rule modules register themselves with the engine on import;
+:func:`load_all` performs those imports and is called lazily by the
+:data:`~repro.lint.engine.LINT_RULES` registry loader (exactly as the
+scenario registry loads its built-ins).  The imports cannot live at
+module level here: ``repro.lint.engine`` imports
+``repro.lint.rules.base`` (which initialises this package), and the
+rule modules import the engine back for ``register_rule``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import LintRule
+
+__all__ = ["LintRule", "load_all"]
+
+
+def load_all() -> None:
+    """Import every built-in rule module for its registration side effect."""
+    import repro.lint.rules.determinism  # noqa: F401
+    import repro.lint.rules.facade  # noqa: F401
+    import repro.lint.rules.hotpath  # noqa: F401

@@ -27,6 +27,7 @@ import math
 import random
 from typing import Iterable, List, Optional
 
+from repro.core.rng import DEFAULT_SEED, derive_seed
 from repro.core.types import Seconds
 
 
@@ -115,8 +116,11 @@ class ReservoirSample:
 
     Args:
         capacity: Reservoir size (trade accuracy for memory).
-        rng: Random stream (pass a seeded ``random.Random`` for
-            reproducible sampling).
+        rng: Random stream; defaults to a stream seeded
+            deterministically from :data:`repro.core.rng.DEFAULT_SEED`
+            so identically-fed reservoirs retain identical samples
+            across processes and runs (pass your own seeded
+            ``random.Random`` to decorrelate multiple reservoirs).
     """
 
     __slots__ = ("_capacity", "_rng", "_seen", "_sample")
@@ -125,7 +129,11 @@ class ReservoirSample:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = (
+            rng
+            if rng is not None
+            else random.Random(derive_seed(DEFAULT_SEED, "metrics.reservoir"))
+        )
         self._seen = 0
         self._sample: List[float] = []
 
@@ -216,7 +224,7 @@ class StreamingBinCounter:
     def __len__(self) -> int:
         return len(self._counts)
 
-    def to_series(self, *, label: str = ""):
+    def to_series(self, *, label: str = "") -> "Series":
         """Snapshot as a :class:`~repro.analysis.timeseries.Series`."""
         from repro.analysis.timeseries import Series
 

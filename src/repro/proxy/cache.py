@@ -71,6 +71,18 @@ class ObjectCache:
             caches (see :data:`repro.proxy.eviction.EVICTION_POLICIES`).
     """
 
+    __slots__ = (
+        "_capacity",
+        "_policy",
+        "_eviction_name",
+        "_entries",
+        "_evictions",
+        "_refetches_after_evict",
+        "_windows",
+        "_open_windows",
+        "_clock",
+    )
+
     def __init__(
         self,
         capacity: Optional[int] = None,

@@ -17,7 +17,7 @@ from repro.sim.kernel import Kernel
 from repro.sim.stats import Counter
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequestRecord:
     """One client request and how it was served."""
 
@@ -29,6 +29,8 @@ class ClientRequestRecord:
 
 class Client:
     """A simulated client population issuing requests to the proxy."""
+
+    __slots__ = ("_kernel", "_proxy", "name", "counters", "_log")
 
     def __init__(self, kernel: Kernel, proxy: ProxyCache, *, name: str = "client") -> None:
         self._kernel = kernel

@@ -76,6 +76,8 @@ class ProxyChain:
         True
     """
 
+    __slots__ = ("_tree", "_origin")
+
     def __init__(
         self,
         kernel: Kernel,

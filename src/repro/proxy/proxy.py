@@ -14,7 +14,7 @@ The proxy:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.consistency.base import PolicyFactory, PollObserver, RefreshPolicy
 from repro.core.errors import CacheConfigurationError, UnknownObjectError
@@ -51,6 +51,20 @@ class ProxyCache:
         name: Identifier used in logs and error messages; give each
             level of a proxy hierarchy a distinct name.
     """
+
+    __slots__ = (
+        "name",
+        "_kernel",
+        "_network",
+        "_cache",
+        "_want_history",
+        "_event_log",
+        "triggered_polls_reschedule",
+        "_servers",
+        "_refreshers",
+        "_observers",
+        "counters",
+    )
 
     def __init__(
         self,
@@ -161,7 +175,7 @@ class ProxyCache:
         object_id: ObjectId,
         server: RequestTarget,
         factory: PolicyFactory,
-        **kwargs,
+        **kwargs: Any,
     ) -> Refresher:
         """Convenience: build the policy from a factory, then register."""
         return self.register_object(object_id, server, factory(object_id), **kwargs)

@@ -24,7 +24,7 @@ from repro.scenarios.engine import (
     render_scenario,
     run_scenario,
 )
-from repro.scenarios.registry import (
+from repro.scenarios.registry import (  # repro-lint: disable=RL303 (back-compat re-export of the deprecated lookups)
     SCENARIOS,
     Scenario,
     UnknownScenarioError,

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping
 
+from repro.traces.model import UpdateTrace
+
 from repro.core.types import MINUTE, TTRBounds
 from repro.experiments import figure3, figure4, figure5, figure6, figure7, figure8
 from repro.experiments import group_mt, hierarchy, table2, table3
@@ -55,7 +57,9 @@ def _prepare_table2(params: Mapping[str, object], seed: int) -> Dict[str, object
     tags=("paper", "table"),
     prepare=_prepare_table2,
 )
-def _table2_point(key: str, *, traces) -> Dict[str, object]:
+def _table2_point(
+    key: str, *, traces: Mapping[str, UpdateTrace]
+) -> Dict[str, object]:
     return table2._summary_row((key, traces[key]))
 
 
@@ -74,7 +78,9 @@ def _prepare_table3(params: Mapping[str, object], seed: int) -> Dict[str, object
     tags=("paper", "table"),
     prepare=_prepare_table3,
 )
-def _table3_point(key: str, *, traces) -> Dict[str, object]:
+def _table3_point(
+    key: str, *, traces: Mapping[str, UpdateTrace]
+) -> Dict[str, object]:
     return table3._summary_row((key, traces[key]))
 
 
@@ -111,7 +117,7 @@ def _prepare_figure3(params: Mapping[str, object], seed: int) -> Dict[str, objec
     prepare=_prepare_figure3,
 )
 def _figure3_point(
-    delta_min: float, *, trace, trace_key: str, detection_mode: str
+    delta_min: float, *, trace: UpdateTrace, trace_key: str, detection_mode: str
 ) -> Dict[str, object]:
     row: Dict[str, object] = {"trace": trace_key}
     row.update(
@@ -160,8 +166,8 @@ def _prepare_figure5(params: Mapping[str, object], seed: int) -> Dict[str, objec
 def _figure5_point(
     mutual_delta_min: float,
     *,
-    trace_a,
-    trace_b,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
     pair_label: str,
     delta: float,
     rate_ratio_threshold: float,
@@ -212,8 +218,8 @@ def _prepare_figure7(params: Mapping[str, object], seed: int) -> Dict[str, objec
 def _figure7_point(
     mutual_delta: float,
     *,
-    trace_a,
-    trace_b,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
     pair_label: str,
     ttr_min: float,
     ttr_max: float,
@@ -334,7 +340,9 @@ def _prepare_group_mt(params: Mapping[str, object], seed: int) -> Dict[str, obje
     tags=("extension",),
     prepare=_prepare_group_mt,
 )
-def _group_mt_point(mutual_delta_min: float, *, traces: List) -> Dict[str, object]:
+def _group_mt_point(
+    mutual_delta_min: float, *, traces: List[UpdateTrace]
+) -> Dict[str, object]:
     return group_mt._sweep_point(mutual_delta_min, traces=traces)
 
 
@@ -355,7 +363,9 @@ def _prepare_hierarchy(params: Mapping[str, object], seed: int) -> Dict[str, obj
     tags=("extension",),
     prepare=_prepare_hierarchy,
 )
-def _hierarchy_point(topology: str, *, trace, edge_count: int) -> Dict[str, object]:
+def _hierarchy_point(
+    topology: str, *, trace: UpdateTrace, edge_count: int
+) -> Dict[str, object]:
     return hierarchy._topology_row(topology, trace=trace, edge_count=edge_count)
 
 
@@ -381,7 +391,9 @@ def _prepare_history(params: Mapping[str, object], seed: int) -> Dict[str, objec
     tags=("ablation",),
     prepare=_prepare_history,
 )
-def _ablation_history_point(mode: str, *, trace, delta: float) -> Dict[str, object]:
+def _ablation_history_point(
+    mode: str, *, trace: UpdateTrace, delta: float
+) -> Dict[str, object]:
     return _history_point(mode, trace=trace, delta=delta)
 
 
@@ -406,7 +418,12 @@ def _prepare_news_pair(params: Mapping[str, object], seed: int) -> Dict[str, obj
     prepare=_prepare_news_pair,
 )
 def _ablation_threshold_point(
-    threshold: float, *, trace_a, trace_b, delta: float, mutual_delta: float
+    threshold: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: float,
+    mutual_delta: float,
 ) -> Dict[str, object]:
     return _threshold_point(
         threshold,
@@ -428,7 +445,12 @@ def _ablation_threshold_point(
     prepare=_prepare_news_pair,
 )
 def _ablation_trigger_point(
-    semantics: str, *, trace_a, trace_b, delta: float, mutual_delta: float
+    semantics: str,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    delta: float,
+    mutual_delta: float,
 ) -> Dict[str, object]:
     return _trigger_point(
         (semantics, semantics == "replace"),
@@ -476,8 +498,8 @@ def _prepare_stock_pair(params: Mapping[str, object], seed: int) -> Dict[str, ob
 def _ablation_partition_point(
     split: str,
     *,
-    trace_a,
-    trace_b,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
     mutual_delta: float,
     bounds: TTRBounds,
     reapportion_interval_s: float,
@@ -508,7 +530,12 @@ def _ablation_partition_point(
     prepare=_prepare_stock_pair,
 )
 def _ablation_smoothing_point(
-    alpha: float, *, trace_a, trace_b, mutual_delta: float, bounds: TTRBounds
+    alpha: float,
+    *,
+    trace_a: UpdateTrace,
+    trace_b: UpdateTrace,
+    mutual_delta: float,
+    bounds: TTRBounds,
 ) -> Dict[str, object]:
     return _smoothing_point(
         alpha,
@@ -529,7 +556,9 @@ def _ablation_smoothing_point(
     tags=("ablation",),
     prepare=_prepare_history,
 )
-def _ablation_limd_point(tuning: str, *, trace, delta: float) -> Dict[str, object]:
+def _ablation_limd_point(
+    tuning: str, *, trace: UpdateTrace, delta: float
+) -> Dict[str, object]:
     return _limd_parameters_point(
         (tuning, LIMD_TUNINGS[tuning]), trace=trace, delta=delta
     )
@@ -546,6 +575,6 @@ def _ablation_limd_point(tuning: str, *, trace, delta: float) -> Dict[str, objec
     prepare=_prepare_history,
 )
 def _ablation_latency_point(
-    latency: float, *, trace, delta: float
+    latency: float, *, trace: UpdateTrace, delta: float
 ) -> Dict[str, object]:
     return _latency_point(latency, trace=trace, delta=delta)

@@ -41,7 +41,7 @@ from repro.scenarios.registry import prepare_params_seed, scenario
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
-from repro.topology import TopologyTree, TreeLevel
+from repro.topology import LevelPolicyFactory, TopologyTree, TreeLevel
 from repro.traces.model import UpdateTrace
 from repro.workload.surges import SurgeWindow, flash_crowd_trace
 
@@ -50,7 +50,7 @@ from repro.workload.surges import SurgeWindow, flash_crowd_trace
 # ----------------------------------------------------------------------
 
 
-def _limd_level_factory(delta: float):
+def _limd_level_factory(delta: float) -> LevelPolicyFactory:
     """A per-(level, object) LIMD factory at one shared Δ."""
     factory = limd_policy_factory(
         delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS

@@ -43,7 +43,8 @@ from repro.scenarios.registry import prepare_params_seed, scenario
 from repro.server.origin import OriginServer
 from repro.server.updates import feed_traces
 from repro.sim.kernel import Kernel
-from repro.topology import TopologyTree, TreeLevel
+from repro.topology import LevelPolicyFactory, TopologyTree, TreeLevel
+from repro.traces.model import UpdateTrace
 from repro.traces.synthetic import poisson_trace
 from repro.workload.failures import FailureInjector, generate_failure_schedule
 from repro.workload.modulation import DiurnalModulation, diurnal_trace
@@ -197,7 +198,7 @@ def _prepare_failure_churn(
 def _failure_churn_point(
     mean_uptime_min: float,
     *,
-    trace,
+    trace: UpdateTrace,
     delta: float,
     mean_downtime: float,
     seed: int,
@@ -302,7 +303,7 @@ def _hetero_mix_point(
     return row
 
 
-def _limd_level_factory(delta: float):
+def _limd_level_factory(delta: float) -> LevelPolicyFactory:
     """A per-(level, object) LIMD factory at one shared Δ."""
     factory = limd_policy_factory(
         delta, ttr_max=TTR_MAX, parameters=PAPER_LIMD_PARAMETERS
@@ -311,7 +312,7 @@ def _limd_level_factory(delta: float):
 
 
 def _mean_edge_snapshot_fidelity(
-    tree: TopologyTree, trace, delta: float
+    tree: TopologyTree, trace: UpdateTrace, delta: float
 ) -> float:
     """Mean time-fidelity over the edges, from snapshots actually held.
 
@@ -443,7 +444,7 @@ def _prepare_hybrid_push_pull(
     prepare=_prepare_hybrid_push_pull,
 )
 def _hybrid_push_pull_point(
-    delta_min: float, *, trace, edge_count: int
+    delta_min: float, *, trace: UpdateTrace, edge_count: int
 ) -> Dict[str, object]:
     delta = float(delta_min) * MINUTE
 

@@ -23,7 +23,7 @@ runs are row-for-row identical — the golden files pin both.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.api.builder import SimulationBuilder
 from repro.api.config import GroupConfig
@@ -402,7 +402,7 @@ def _group_churn_point(
     coordinator = MutualTemporalCoordinator(proxy, registry)
     reforms = 0
 
-    def make_reform(epoch_index: int):
+    def make_reform(epoch_index: int) -> Callable[[object], None]:
         def reform(_kernel: object) -> None:
             nonlocal reforms
             reforms += 1

@@ -7,7 +7,7 @@ applies it to the server at the right instant, turning a static
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.types import ObjectId, Seconds
 from repro.server.origin import OriginServer
@@ -80,7 +80,9 @@ class UpdateFeeder:
             )
             self._scheduled += 1
 
-    def _make_apply(self, time: Seconds, value: Optional[float]):
+    def _make_apply(
+        self, time: Seconds, value: Optional[float]
+    ) -> Callable[[Kernel], None]:
         object_id = self._trace.object_id
 
         def apply(_kernel: Kernel) -> None:

@@ -89,6 +89,16 @@ class FastForwardEngine:
     as after a plain run.
     """
 
+    __slots__ = (
+        "_kernel",
+        "_heap",
+        "_sequence",
+        "_refreshers",
+        "_proxy_of",
+        "_closed",
+        "bulk_polls",
+    )
+
     def __init__(self, kernel: Kernel, proxies: Sequence[ProxyCache]) -> None:
         self._kernel = kernel
         self._heap: List[_HeapEntry] = []

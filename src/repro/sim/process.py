@@ -35,6 +35,8 @@ ProcessBody = Generator[Seconds, None, None]
 class Process:
     """A running process.  Created via :func:`spawn`."""
 
+    __slots__ = ("_kernel", "_body", "_label", "_finished", "_handle")
+
     def __init__(self, kernel: Kernel, body: ProcessBody, *, label: str = "") -> None:
         self._kernel = kernel
         self._body = body

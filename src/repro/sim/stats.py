@@ -22,6 +22,8 @@ from repro.core.types import Seconds
 class Counter:
     """A set of named monotone counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
@@ -59,6 +61,8 @@ class TimeWeightedValue:
     new one.  :meth:`integral` and :meth:`mean` close the current segment
     at the query time without mutating state.
     """
+
+    __slots__ = ("_segment_start", "_value", "_area", "_origin")
 
     def __init__(self, start: Seconds = 0.0, initial: float = 0.0) -> None:
         self._segment_start: Seconds = start
@@ -103,7 +107,7 @@ class TimeWeightedValue:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SummarySnapshot:
     """An immutable snapshot of a :class:`SummaryStats`."""
 
@@ -120,6 +124,8 @@ class SummarySnapshot:
 
 class SummaryStats:
     """Streaming summary statistics (Welford's online algorithm)."""
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
 
     def __init__(self) -> None:
         self._count = 0
@@ -197,6 +203,17 @@ class Histogram:
     Out-of-range observations are clamped into the first/last bin and
     counted separately so callers can detect poorly chosen ranges.
     """
+
+    __slots__ = (
+        "_low",
+        "_high",
+        "_bins",
+        "_width",
+        "_counts",
+        "_underflow",
+        "_overflow",
+        "_total",
+    )
 
     def __init__(self, low: float, high: float, bins: int) -> None:
         if bins <= 0:

@@ -27,6 +27,8 @@ E = TypeVar("E", PollEvent, ViolationEvent, TTRChangeEvent, UpdateAppliedEvent, 
 class EventLog:
     """An append-only, time-ordered log of simulation events."""
 
+    __slots__ = ("_events", "_enabled")
+
     def __init__(self, *, enabled: bool = True) -> None:
         self._events: List[Event] = []
         self._enabled = enabled

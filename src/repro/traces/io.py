@@ -14,7 +14,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import List, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, TextIO, Union
 
 from repro.core.errors import TraceFormatError
 from repro.core.types import ObjectId, UpdateRecord
@@ -104,7 +104,7 @@ def _read_csv_stream(stream: TextIO) -> List[UpdateRecord]:
 # ----------------------------------------------------------------------
 # JSON
 # ----------------------------------------------------------------------
-def to_json_dict(trace: UpdateTrace) -> dict:
+def to_json_dict(trace: UpdateTrace) -> Dict[str, object]:
     """Return a JSON-serialisable dict describing the trace."""
     return {
         "format_version": _JSON_FORMAT_VERSION,
@@ -155,7 +155,7 @@ def _record_from_json(index: int, raw: object) -> UpdateRecord:
     return UpdateRecord(float(time), version, None if value is None else float(value))
 
 
-def from_json_dict(data: dict) -> UpdateTrace:
+def from_json_dict(data: Dict[str, Any]) -> UpdateTrace:
     """Rebuild a trace from :func:`to_json_dict` output."""
     try:
         version = data["format_version"]

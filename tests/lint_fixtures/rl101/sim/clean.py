@@ -1,0 +1,15 @@
+"""RL101 fixture: clock reads go through the simulation kernel."""
+
+
+class FakeKernel:
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+
+def stamp(kernel: FakeKernel) -> float:
+    return kernel.now()

@@ -1,0 +1,12 @@
+"""RL101 fixture: wall-clock reads inside the deterministic scope."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,11 @@
+"""RL102 fixture: explicitly seeded, locally owned generators."""
+
+import random
+
+
+def generator(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,11 @@
+"""RL102 fixture: global random state and un-seeded generators."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()
+
+
+def generator() -> random.Random:
+    return random.Random()

@@ -1,0 +1,11 @@
+"""RL103 fixture: sorted() is the sanctioned bridge out of a set."""
+
+from typing import List, Set
+
+
+def names(seen: Set[str]) -> List[str]:
+    return sorted(seen)
+
+
+def render(seen: Set[str]) -> str:
+    return ", ".join(sorted(seen))

@@ -1,0 +1,11 @@
+"""RL103 fixture: set iteration order leaking into ordered output."""
+
+from typing import List, Set
+
+
+def names(seen: Set[str]) -> List[str]:
+    return [name for name in seen]
+
+
+def render(seen: Set[str]) -> str:
+    return ", ".join(seen)

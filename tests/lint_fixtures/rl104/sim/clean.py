@@ -1,0 +1,17 @@
+"""RL104 fixture: orderings over stable, value-based keys."""
+
+from typing import List
+
+
+def order(items: List[str]) -> List[str]:
+    return sorted(items)
+
+
+class Keyed:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __lt__(self, other: "Keyed") -> bool:
+        return self.value < other.value

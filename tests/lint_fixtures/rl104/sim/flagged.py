@@ -1,0 +1,17 @@
+"""RL104 fixture: hash()/id() feeding orderings."""
+
+from typing import List
+
+
+def order(items: List[str]) -> List[str]:
+    return sorted(items, key=lambda item: hash(item))
+
+
+class Keyed:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __lt__(self, other: "Keyed") -> bool:
+        return id(self) < id(other)

@@ -1,0 +1,12 @@
+"""RL202 fixture: every written attribute is a declared slot."""
+
+
+class Steady:
+    __slots__ = ("count", "latest")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.latest = 0.0
+
+    def mark(self) -> None:
+        self.latest = 1.0

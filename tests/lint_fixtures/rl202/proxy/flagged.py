@@ -1,0 +1,11 @@
+"""RL202 fixture: attribute creation escaping __slots__."""
+
+
+class Drifting:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def mark(self) -> None:
+        self.latest = 1.0

@@ -1,0 +1,19 @@
+"""RL203 fixture: test the condition, or handle the error for real."""
+
+from typing import Dict, List
+
+
+def total(entries: Dict[str, float], keys: List[str]) -> float:
+    out = 0.0
+    for key in keys:
+        value = entries.get(key)
+        if value is not None:
+            out += value
+    return out
+
+
+def parse(raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise RuntimeError(f"bad value {raw!r}") from exc

@@ -1,0 +1,13 @@
+"""RL203 fixture: exception handlers used purely as control flow."""
+
+from typing import Dict, List
+
+
+def total(entries: Dict[str, float], keys: List[str]) -> float:
+    out = 0.0
+    for key in keys:
+        try:
+            out += entries[key]
+        except KeyError:
+            continue
+    return out

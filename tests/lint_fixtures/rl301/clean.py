@@ -1,0 +1,17 @@
+"""RL301 fixture: to_dict/from_dict paired, directly or via a base."""
+
+from typing import Dict
+
+
+class WholeConfig:
+    """Round-trips through a plain dict."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"size": self.size}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "WholeConfig":
+        return cls(size=data["size"])

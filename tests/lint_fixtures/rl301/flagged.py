@@ -1,0 +1,13 @@
+"""RL301 fixture: a config class with one-way serialisation."""
+
+from typing import Dict
+
+
+class HalfConfig:
+    """Serialises but cannot round-trip."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"size": self.size}

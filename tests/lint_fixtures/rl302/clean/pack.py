@@ -1,0 +1,28 @@
+"""RL302 fixture: every registration has a TINY_CONFIGS entry."""
+
+from typing import Callable, Dict
+
+_Point = Callable[[], None]
+
+
+def scenario(**kwargs: object) -> Callable[[_Point], _Point]:
+    def wrap(func: _Point) -> _Point:
+        return func
+
+    return wrap
+
+
+TINY_CONFIGS: Dict[str, Dict[str, object]] = {
+    "covered": {"values": (1.0,)},
+    "also_covered": {"values": (2.0,)},
+}
+
+
+@scenario(name="covered")
+def _covered_point() -> None:
+    return None
+
+
+@scenario(name="also_covered")
+def _also_covered_point() -> None:
+    return None

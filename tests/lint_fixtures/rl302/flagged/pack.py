@@ -1,0 +1,27 @@
+"""RL302 fixture: a scenario registration missing its smoke config."""
+
+from typing import Callable, Dict
+
+_Point = Callable[[], None]
+
+
+def scenario(**kwargs: object) -> Callable[[_Point], _Point]:
+    def wrap(func: _Point) -> _Point:
+        return func
+
+    return wrap
+
+
+TINY_CONFIGS: Dict[str, Dict[str, object]] = {
+    "covered": {"values": (1.0,)},
+}
+
+
+@scenario(name="covered")
+def _covered_point() -> None:
+    return None
+
+
+@scenario(name="uncovered")
+def _uncovered_point() -> None:
+    return None

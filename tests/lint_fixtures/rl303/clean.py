@@ -1,0 +1,6 @@
+"""RL303 fixture: the replacement APIs the shims point at."""
+
+from repro.api import run_individual
+from repro.scenarios.registry import SCENARIOS
+
+__all__ = ["SCENARIOS", "run_individual"]

@@ -1,0 +1,6 @@
+"""RL303 fixture: imports reaching into deprecated shim modules."""
+
+from repro.experiments.runner import run_individual
+from repro.scenarios.registry import get_scenario
+
+__all__ = ["get_scenario", "run_individual"]

@@ -1,0 +1,11 @@
+"""Scope fixture: the same pattern outside the deterministic core.
+
+RL101 is scoped to the simulation packages; this file lives in no
+scoped directory, so the wall-clock read below must NOT be flagged.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

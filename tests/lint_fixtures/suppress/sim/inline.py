@@ -1,0 +1,7 @@
+"""Suppression fixture: an inline disable silences one finding."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=RL101 (fixture: log label only)

@@ -23,6 +23,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.timeseries import bin_count
+from repro.core.rng import DEFAULT_SEED, derive_seed
 from repro.core.types import ObjectId
 from repro.metrics.streaming import (
     ReservoirSample,
@@ -254,6 +255,29 @@ class TestStreamingEquivalence:
         assert sorted(reservoir.values()) == values
         assert reservoir.quantile(0.0) == 0.0
         assert reservoir.quantile(1.0) == 59.0
+
+    def test_reservoir_default_rng_is_deterministic(self):
+        """Default-constructed reservoirs sample identically (RL102 fix).
+
+        The default used to be an unseeded ``random.Random()``, which
+        made quantiles of over-capacity streams vary run to run.
+        """
+        stream = [math.sin(i) * 100.0 for i in range(500)]
+
+        def run():
+            reservoir = ReservoirSample(16)
+            for v in stream:
+                reservoir.add(v)
+            return reservoir.values()
+
+        first, second = run(), run()
+        assert first == second
+        seeded = ReservoirSample(
+            16, rng=random.Random(derive_seed(DEFAULT_SEED, "metrics.reservoir"))
+        )
+        for v in stream:
+            seeded.add(v)
+        assert seeded.values() == first
 
     def test_reservoir_is_uniform_enough(self):
         """Over many trials each element is retained ~capacity/n of the time."""

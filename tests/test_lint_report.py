@@ -1,0 +1,197 @@
+"""Reporters and the committed baseline.
+
+The JSON reporter's ``repro-lint/1`` schema is versioned and pinned
+here: top-level key order, finding key order, and sort order are all
+part of the contract (CI artifacts must diff cleanly run over run).
+"""
+
+import json
+import tempfile
+import unittest
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import (
+    BASELINE_SCHEMA,
+    REPORT_SCHEMA,
+    BaselineError,
+    Diagnostic,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _flagged_run():
+    return lint_paths([str(FIXTURES / "rl101" / "sim" / "flagged.py")])
+
+
+class TestJsonReport(unittest.TestCase):
+    def test_schema_and_key_order_are_pinned(self):
+        run = _flagged_run()
+        match = apply_baseline(run.findings, Counter())
+        payload = json.loads(render_json(run, match))
+        self.assertEqual(
+            list(payload),
+            [
+                "schema",
+                "files_scanned",
+                "findings",
+                "suppressed",
+                "baselined",
+                "stale_baseline_entries",
+            ],
+        )
+        self.assertEqual(payload["schema"], REPORT_SCHEMA)
+        self.assertEqual(payload["files_scanned"], 1)
+        self.assertEqual(payload["suppressed"], 0)
+        self.assertEqual(payload["baselined"], 0)
+        self.assertEqual(payload["stale_baseline_entries"], [])
+        for finding in payload["findings"]:
+            self.assertEqual(
+                list(finding), ["path", "line", "col", "code", "message"]
+            )
+
+    def test_findings_are_sorted_by_location(self):
+        run = _flagged_run()
+        match = apply_baseline(run.findings, Counter())
+        payload = json.loads(render_json(run, match))
+        lines = [f["line"] for f in payload["findings"]]
+        self.assertEqual(lines, sorted(lines))
+
+
+class TestTextReport(unittest.TestCase):
+    def test_one_line_per_finding_plus_summary(self):
+        run = _flagged_run()
+        match = apply_baseline(run.findings, Counter())
+        lines = render_text(run, match).splitlines()
+        self.assertEqual(len(lines), len(run.findings) + 1)
+        for rendered, finding in zip(lines, run.findings):
+            self.assertEqual(rendered, finding.render())
+            self.assertIn(f"{finding.code} ", rendered)
+        self.assertIn("2 findings, 1 file scanned", lines[-1])
+
+    def test_clean_run_summary(self):
+        run = lint_paths([str(FIXTURES / "rl101" / "sim" / "clean.py")])
+        match = apply_baseline(run.findings, Counter())
+        self.assertEqual(
+            render_text(run, match), "0 findings, 1 file scanned"
+        )
+
+
+class TestBaseline(unittest.TestCase):
+    def test_write_then_load_round_trips(self):
+        run = _flagged_run()
+        self.assertTrue(run.findings)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_path = Path(tmp) / "baseline.json"
+            write_baseline(baseline_path, run.findings)
+            data = json.loads(baseline_path.read_text(encoding="utf-8"))
+            self.assertEqual(data["schema"], BASELINE_SCHEMA)
+            baseline = load_baseline(baseline_path)
+        self.assertEqual(sum(baseline.values()), len(run.findings))
+        match = apply_baseline(run.findings, baseline)
+        self.assertEqual(match.new_findings, [])
+        self.assertEqual(match.baselined_count, len(run.findings))
+        self.assertEqual(match.stale_entries, [])
+
+    def test_new_findings_survive_the_baseline(self):
+        run = _flagged_run()
+        first, *rest = list(run.findings)
+        baseline = Counter(
+            {(first.path, first.code, first.message): 1}
+        )
+        match = apply_baseline(run.findings, baseline)
+        self.assertEqual(match.new_findings, rest)
+        self.assertEqual(match.baselined_count, 1)
+
+    def test_stale_entries_are_reported_not_fatal(self):
+        baseline = Counter({("gone.py", "RL101", "old message"): 1})
+        match = apply_baseline([], baseline)
+        self.assertEqual(match.new_findings, [])
+        self.assertEqual(match.baselined_count, 0)
+        self.assertEqual(
+            match.stale_entries,
+            [{"path": "gone.py", "code": "RL101", "message": "old message"}],
+        )
+
+    def test_matching_ignores_line_numbers(self):
+        finding = Diagnostic(
+            path="a.py", line=10, col=0, code="RL101", message="m"
+        )
+        moved = Diagnostic(
+            path="a.py", line=99, col=4, code="RL101", message="m"
+        )
+        baseline = Counter({("a.py", "RL101", "m"): 1})
+        for diagnostic in (finding, moved):
+            match = apply_baseline([diagnostic], baseline)
+            self.assertEqual(match.new_findings, [])
+
+    def test_matching_is_multiset_style(self):
+        finding = Diagnostic(
+            path="a.py", line=1, col=0, code="RL101", message="m"
+        )
+        twin = Diagnostic(
+            path="a.py", line=2, col=0, code="RL101", message="m"
+        )
+        baseline = Counter({("a.py", "RL101", "m"): 1})
+        match = apply_baseline([finding, twin], baseline)
+        self.assertEqual(len(match.new_findings), 1)
+        self.assertEqual(match.baselined_count, 1)
+
+    def test_render_baseline_is_deterministic(self):
+        run = _flagged_run()
+        self.assertEqual(
+            render_baseline(run.findings), render_baseline(run.findings)
+        )
+        self.assertTrue(render_baseline(run.findings).endswith("\n"))
+
+    def test_committed_baseline_is_valid_and_empty(self):
+        """The repo's own baseline holds zero grandfathered findings."""
+        path = REPO_ROOT / ".repro-lint-baseline.json"
+        self.assertTrue(path.is_file())
+        baseline = load_baseline(path)
+        self.assertEqual(sum(baseline.values()), 0)
+
+
+class TestBaselineErrors(unittest.TestCase):
+    def _load(self, text, tmp):
+        path = Path(tmp) / "baseline.json"
+        path.write_text(text, encoding="utf-8")
+        return load_baseline(path)
+
+    def test_malformed_json(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with self.assertRaises(BaselineError):
+                self._load("{not json", tmp)
+
+    def test_wrong_schema(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with self.assertRaises(BaselineError):
+                self._load('{"schema": "other/9", "findings": []}', tmp)
+
+    def test_missing_findings_list(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with self.assertRaises(BaselineError):
+                self._load(f'{{"schema": "{BASELINE_SCHEMA}"}}', tmp)
+
+    def test_entry_missing_key(self):
+        entry = '{"path": "a.py", "code": "RL101"}'
+        text = (
+            f'{{"schema": "{BASELINE_SCHEMA}", "findings": [{entry}]}}'
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            with self.assertRaises(BaselineError) as ctx:
+                self._load(text, tmp)
+        self.assertIn("message", str(ctx.exception))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""CI entry point for ``repro lint`` (no install required).
+
+Usage::
+
+    python tools/run_lint.py                  # lint src/ with the
+                                              # committed baseline
+    python tools/run_lint.py src tools        # explicit paths
+    python tools/run_lint.py --format json
+    python tools/run_lint.py --write-baseline # grandfather findings
+
+This is a thin wrapper over :func:`repro.lint.cli.main` that
+bootstraps ``src/`` onto ``sys.path``, so the lint job does not need
+``PYTHONPATH`` plumbing.  All flags pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
