@@ -1,0 +1,52 @@
+"""Microbenchmark — scheduler cancel churn.
+
+Stresses the part of the scheduler seam the other kernel micros do not:
+heavy :meth:`EventHandle.cancel` traffic against a mix of near and far
+horizons.  Each round schedules three events — one imminent, two far
+out (the refresh-interval tail) — then cancels the two stragglers and
+runs the imminent one.  Under the timer wheel the cancelled far events
+must be reclaimed lazily from overflow or distant buckets without ever
+being dispatched; under the heap they sift through the root.  The far
+offsets use a prime stride so cancelled entries never collide into a
+single wheel bucket.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Kernel
+
+ROUNDS = 10_000
+_FAR_STRIDE = 997.0
+
+
+def _cancel_churn(kind: str) -> int:
+    kernel = Kernel(scheduler=kind)
+    fired = 0
+    callback = lambda _k: None  # noqa: E731 - intentionally minimal payload
+
+    def on_fire(_k: Kernel) -> None:
+        nonlocal fired
+        fired += 1
+
+    for i in range(ROUNDS):
+        near = kernel.schedule_after(1.0, on_fire, label="near")
+        far_a = kernel.schedule_after(1.0 + _FAR_STRIDE, callback, label="far")
+        far_b = kernel.schedule_after(
+            1.0 + (i % 64 + 1) * _FAR_STRIDE, callback, label="far"
+        )
+        far_a.cancel()
+        far_b.cancel()
+        kernel.run(until=near.time)
+    # Drain whatever lazy-cancelled residue is still pending.
+    kernel.run()
+    return fired
+
+
+def test_scheduler_cancel_churn_wheel(benchmark):
+    fired = benchmark(_cancel_churn, "wheel")
+    assert fired == ROUNDS
+
+
+def test_scheduler_cancel_churn_heap(benchmark):
+    fired = benchmark(_cancel_churn, "heap")
+    assert fired == ROUNDS

@@ -56,7 +56,7 @@ from repro.api.config import (
     WorkloadConfig,
 )
 from repro.api.jsonable import thaw
-from repro.api.results import ResultSet
+from repro.api.results import ColumnarBuilder, ResultSet
 from repro.api.runs import RunResult, build_core
 from repro.api.workloads import resolve_workload
 from repro.consistency.base import PolicyFactory, RefreshPolicy
@@ -64,6 +64,12 @@ from repro.core.errors import CacheConfigurationError
 from repro.core.rng import derive_seed
 from repro.core.types import ObjectId
 from repro.httpsim.network import LatencyModel
+from repro.metrics.collector import (
+    GROUP_ROW_COLUMNS,
+    OBJECT_ROW_COLUMNS,
+    append_group_rows,
+    append_object_rows,
+)
 from repro.proxy.cache import ObjectCache
 from repro.proxy.proxy import ProxyCache
 from repro.proxy.ttl_registry import TTLClassRegistry
@@ -83,22 +89,10 @@ from repro.traces.model import UpdateTrace
 #: :func:`repro.metrics.group.group_temporal_fidelity` against each
 #: group's ``mutual_delta`` — while per-object rows leave those cells
 #: unset (and group rows leave the per-object cells unset).
-RESULT_COLUMNS: Tuple[str, ...] = (
-    "node",
-    "object",
-    "updates",
-    "polls",
-    "fidelity_by_violations",
-    "fidelity_by_time",
-    "evictions",
-    "refetch_after_evict",
-    "staleness_violations",
-    "group",
-    "group_polls",
-    "group_violations",
-    "group_fidelity_by_violations",
-    "group_fidelity_by_time",
-)
+#:
+#: Assembled from the collector's two row shapes — the per-object cells
+#: first, then the ``group*`` cells (``node`` is shared).
+RESULT_COLUMNS: Tuple[str, ...] = OBJECT_ROW_COLUMNS + GROUP_ROW_COLUMNS[1:]
 
 #: A hook run on the live tree after registration, before the run — the
 #: seam load drivers (e.g. the scale benchmark's client pumps) use to
@@ -150,71 +144,6 @@ def _policy_factory(policy: PolicyConfig) -> PolicyFactory:
             f"invalid params for policy {policy.name!r} "
             f"({dict(policy.params)}): {exc}"
         ) from None
-
-
-def _poll_fidelity(
-    proxy: ProxyCache, trace: UpdateTrace, delta: Optional[float]
-) -> Tuple[Optional[float], Optional[float]]:
-    if delta is None:
-        return None, None
-    from repro.metrics.collector import collect_temporal
-
-    report = collect_temporal(proxy, trace, delta).report
-    return report.fidelity_by_violations, report.fidelity_by_time
-
-
-def _snapshot_fidelity(
-    proxy: ProxyCache, trace: UpdateTrace, delta: Optional[float]
-) -> Tuple[Optional[float], Optional[float]]:
-    # Edge proxies refresh to *parent*-current state, which can itself
-    # be stale, so they are scored from the snapshots actually held.
-    if delta is None:
-        return None, None
-    from repro.metrics.collector import collect_snapshot_fidelity
-
-    report = collect_snapshot_fidelity(proxy, trace, delta).report
-    return report.fidelity_by_violations, report.fidelity_by_time
-
-
-def _node_rows(
-    node: str,
-    proxy: ProxyCache,
-    traces: Sequence[UpdateTrace],
-    delta: Optional[float],
-    *,
-    horizon: Optional[float] = None,
-    snapshots: bool = False,
-) -> List[Dict[str, object]]:
-    from repro.metrics.collector import collect_eviction_impact
-
-    score = _snapshot_fidelity if snapshots else _poll_fidelity
-    rows = []
-    for trace in traces:
-        # A bounded cache may have evicted the object without a later
-        # refetch: there is then no entry (and no poll history) to
-        # score — entry_or_none still raises for unregistered objects.
-        entry = proxy.entry_or_none(trace.object_id)
-        if entry is not None:
-            violations, by_time = score(proxy, trace, delta)
-            polls = entry.poll_count
-        else:
-            violations, by_time = None, None
-            polls = 0
-        impact = collect_eviction_impact(proxy, trace, delta, horizon=horizon)
-        rows.append(
-            {
-                "node": node,
-                "object": str(trace.object_id),
-                "updates": trace.update_count,
-                "polls": polls,
-                "fidelity_by_violations": violations,
-                "fidelity_by_time": by_time,
-                "evictions": impact.evictions,
-                "refetch_after_evict": impact.refetches_after_evict,
-                "staleness_violations": impact.staleness_violations,
-            }
-        )
-    return rows
 
 
 def _resolve_groups(
@@ -294,47 +223,6 @@ def _attach_coordinators(
             config.groups.mode,
             rate_ratio_threshold=config.groups.rate_ratio_threshold,
         )
-
-
-def _group_rows(
-    node: str,
-    proxy: ProxyCache,
-    registry: "GroupRegistry",
-    traces_by_id: Dict[ObjectId, UpdateTrace],
-    horizon: float,
-) -> List[Dict[str, object]]:
-    """One result row per group on one node (the ``group*`` columns)."""
-    from repro.metrics.collector import temporal_fetches_of
-    from repro.metrics.group import group_temporal_fidelity
-
-    rows: List[Dict[str, object]] = []
-    for spec in registry:
-        fetches = {}
-        for member in spec.members:
-            # A bounded cache may have evicted a member; its fetch
-            # history is gone, so it contributes no poll events (the
-            # group metric then scores the remaining members' polls).
-            entry = proxy.entry_or_none(member)
-            fetches[member] = (
-                [] if entry is None else temporal_fetches_of(proxy, member)
-            )
-        report = group_temporal_fidelity(
-            {member: traces_by_id[member] for member in spec.members},
-            fetches,
-            spec.mutual_delta,
-            end=horizon,
-        )
-        rows.append(
-            {
-                "node": node,
-                "group": str(spec.group_id),
-                "group_polls": report.polls,
-                "group_violations": report.violations,
-                "group_fidelity_by_violations": report.fidelity_by_violations,
-                "group_fidelity_by_time": report.fidelity_by_time,
-            }
-        )
-    return rows
 
 
 def _latency_of(network: NetworkConfig) -> LatencyModel:
@@ -480,9 +368,12 @@ def _run_to_horizon(
         kernel.run(until=horizon)
 
 
-#: Result rows keyed by their node's ``(level, index)`` — the sort key
-#: sharded execution merges on.
-KeyedRows = List[Tuple[Tuple[int, int], List[Dict[str, object]]]]
+#: Columnar result-row batches keyed by their node's ``(level, index)``
+#: — the sort key sharded execution merges on.  Batches carry only the
+#: :data:`~repro.metrics.collector.OBJECT_ROW_COLUMNS` subset (smaller
+#: to pickle across the shard boundary); the merged assembly pads the
+#: ``group*`` columns when materializing under :data:`RESULT_COLUMNS`.
+KeyedRows = List[Tuple[Tuple[int, int], ColumnarBuilder]]
 
 
 def _keyed_tree_rows(
@@ -492,10 +383,10 @@ def _keyed_tree_rows(
     horizon: float,
     owns: Optional["frozenset[Tuple[int, int]]"] = None,
 ) -> KeyedRows:
-    """Result rows per tree node, keyed by ``(level, index)``.
+    """Result-row batches per tree node, keyed by ``(level, index)``.
 
     The key is the merge key for sharded execution: shards return
-    disjoint keyed row lists and the merged table sorts by key, which
+    disjoint keyed batch lists and the merged table sorts by key, which
     reproduces the serial ``tree.nodes`` traversal order exactly.
     ``owns`` restricts collection to a shard's owned nodes (a node
     registered only as another shard's ancestor replica must not be
@@ -506,22 +397,20 @@ def _keyed_tree_rows(
         key = (node.level, node.index)
         if owns is not None and key not in owns:
             continue
+        batch = ColumnarBuilder(OBJECT_ROW_COLUMNS)
         # Level-0 nodes track the origin itself and score at poll
         # times; deeper nodes refresh to parent-current (possibly
         # stale) state and are scored from the snapshots actually held.
-        keyed.append(
-            (
-                key,
-                _node_rows(
-                    node.name,
-                    node.proxy,
-                    traces,
-                    delta,
-                    horizon=horizon,
-                    snapshots=node.level > 0,
-                ),
-            )
+        append_object_rows(
+            batch.row_writer(OBJECT_ROW_COLUMNS),
+            node.name,
+            node.proxy,
+            traces,
+            delta,
+            horizon=horizon,
+            snapshots=node.level > 0,
         )
+        keyed.append((key, batch))
     return keyed
 
 
@@ -607,16 +496,20 @@ def _run_tree(
     keyed = _keyed_tree_rows(
         tree, traces, config.fidelity_delta_s, horizon, owns
     )
-    rows: List[Dict[str, object]] = []
-    for _key, node_rows in keyed:
-        rows.extend(node_rows)
+    assembly = ColumnarBuilder(RESULT_COLUMNS)
+    for _key, batch in keyed:
+        assembly.extend(batch)
     if group_registry is not None:
+        write_group = assembly.row_writer(GROUP_ROW_COLUMNS)
         traces_by_id = {trace.object_id: trace for trace in traces}
         for node in tree.nodes:
-            rows.extend(
-                _group_rows(
-                    node.name, node.proxy, group_registry, traces_by_id, horizon
-                )
+            append_group_rows(
+                write_group,
+                node.name,
+                node.proxy,
+                group_registry,
+                traces_by_id,
+                horizon,
             )
     edges = (
         [node.proxy for node in tree.edge_nodes] if tree.depth > 1 else []
@@ -630,7 +523,7 @@ def _run_tree(
             traces={trace.object_id: trace for trace in traces},
             event_log=event_log,
         ),
-        results=ResultSet(RESULT_COLUMNS, rows),
+        results=assembly.build(),
         edges=edges,
         tree=tree,
     )
@@ -755,28 +648,36 @@ def run_simulation(
     edges = [node.proxy for node in tree.edge_nodes] if hierarchy else []
     delta = config.fidelity_delta_s
     primary = "proxy" if not edges else "parent"
-    rows = _node_rows(primary, proxy, traces, delta, horizon=horizon)
+    assembly = ColumnarBuilder(RESULT_COLUMNS)
+    write_object = assembly.row_writer(OBJECT_ROW_COLUMNS)
+    append_object_rows(write_object, primary, proxy, traces, delta, horizon=horizon)
     for index, edge in enumerate(edges):
-        rows.extend(
-            _node_rows(
-                f"edge-{index}",
-                edge,
-                traces,
-                delta,
-                horizon=horizon,
-                snapshots=True,
-            )
+        # Edge proxies refresh to *parent*-current state, which can
+        # itself be stale, so they are scored from the snapshots
+        # actually held.
+        append_object_rows(
+            write_object,
+            f"edge-{index}",
+            edge,
+            traces,
+            delta,
+            horizon=horizon,
+            snapshots=True,
         )
     if group_registry is not None:
+        write_group = assembly.row_writer(GROUP_ROW_COLUMNS)
         traces_by_id = {trace.object_id: trace for trace in traces}
-        rows.extend(
-            _group_rows(primary, proxy, group_registry, traces_by_id, horizon)
+        append_group_rows(
+            write_group, primary, proxy, group_registry, traces_by_id, horizon
         )
         for index, edge in enumerate(edges):
-            rows.extend(
-                _group_rows(
-                    f"edge-{index}", edge, group_registry, traces_by_id, horizon
-                )
+            append_group_rows(
+                write_group,
+                f"edge-{index}",
+                edge,
+                group_registry,
+                traces_by_id,
+                horizon,
             )
     return SimulationOutcome(
         config=config,
@@ -787,7 +688,7 @@ def run_simulation(
             traces={trace.object_id: trace for trace in traces},
             event_log=event_log,
         ),
-        results=ResultSet(RESULT_COLUMNS, rows),
+        results=assembly.build(),
         edges=edges,
     )
 

@@ -14,6 +14,15 @@ column schema:
 * **Cells may be missing** — a row without a column exports ``None``
   (empty CSV cell); a row with an *undeclared* column is an error,
   because silently dropping data is how regressions hide.
+
+Engines assemble results column-wise through :class:`ColumnarBuilder`:
+producers append cell values to typed column lists (absent cells are
+the :data:`MISSING` sentinel, *not* ``None`` — ``None`` is a real cell
+that exports as JSON ``null``), batches concatenate with plain
+``list.extend``, and rows materialize exactly once, at
+:meth:`ResultSet.from_columns` time.  That keeps the sharded merge free
+of per-row dict building and per-row schema validation: writers are
+checked against the schema when bound, batches when extended.
 """
 
 from __future__ import annotations
@@ -21,13 +30,49 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.errors import ReproError
 
 
 class ResultSchemaError(ReproError):
     """Rows and the declared column schema disagree."""
+
+
+class _Missing:
+    """The type of :data:`MISSING`; a process-wide singleton."""
+
+    __slots__ = ()
+    _instance: Optional["_Missing"] = None
+
+    def __new__(cls) -> "_Missing":
+        # One instance per process, surviving pickling (sharded workers
+        # ship columnar batches back by pickle), so ``is MISSING``
+        # checks stay valid across process boundaries.
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self) -> Tuple[type, Tuple[()]]:
+        return (_Missing, ())
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+#: Column-cell sentinel for "this row has no value for this column".
+#: Distinct from ``None``: a ``None`` cell is present (JSON ``null``),
+#: a ``MISSING`` cell is absent from the materialized row entirely.
+MISSING = _Missing()
 
 
 class ResultRow(Mapping[str, object]):
@@ -44,6 +89,20 @@ class ResultRow(Mapping[str, object]):
     ) -> None:
         self._columns = columns
         self._cells = dict(cells)
+
+    @classmethod
+    def _adopt(
+        cls, columns: Tuple[str, ...], cells: Dict[str, object]
+    ) -> "ResultRow":
+        """Trusted constructor: take ownership of ``cells``, no copy.
+
+        Only for callers that built ``cells`` themselves against a
+        validated schema (:meth:`ResultSet.from_columns`).
+        """
+        row = cls.__new__(cls)
+        row._columns = columns
+        row._cells = cells
+        return row
 
     def __getitem__(self, key: str) -> object:
         return self._cells[key]
@@ -104,6 +163,34 @@ class ResultSet:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[str],
+        data: Mapping[str, Sequence[object]],
+        length: int,
+    ) -> "ResultSet":
+        """Materialize rows once from column lists (the columnar path).
+
+        ``data`` maps every name in ``columns`` to a list of ``length``
+        cell values; :data:`MISSING` cells are dropped from their row.
+        The schema was validated when the columns were assembled (see
+        :class:`ColumnarBuilder`), so no per-row checks run here.
+        """
+        result = cls(columns)
+        names = result.columns
+        cols = [data[name] for name in names]
+        adopt = ResultRow._adopt
+        append = result._rows.append
+        for index in range(length):
+            cells: Dict[str, object] = {}
+            for position, column in enumerate(cols):
+                value = column[index]
+                if value is not MISSING:
+                    cells[names[position]] = value
+            append(adopt(names, cells))
+        return result
+
     @classmethod
     def from_records(
         cls,
@@ -185,4 +272,110 @@ class ResultSet:
         return (
             f"ResultSet(columns={list(self.columns)!r}, "
             f"rows={len(self._rows)})"
+        )
+
+
+#: A positional row appender bound to a fixed column subset; see
+#: :meth:`ColumnarBuilder.row_writer`.
+RowWriter = Callable[..., None]
+
+
+class ColumnarBuilder:
+    """Column-wise assembly of a :class:`ResultSet`.
+
+    Producers bind a :meth:`row_writer` for the column subset their
+    rows carry and append cell values positionally; columns outside the
+    subset receive :data:`MISSING` for that row.  Batches built against
+    compatible schemas concatenate with :meth:`extend` (sharded workers
+    pickle their batches back whole — column lists, not row dicts), and
+    :meth:`build` materializes every row exactly once.
+
+    Schema validation happens at the batch granularity: unknown columns
+    fail when a writer is bound or a batch is extended, never per row.
+    """
+
+    __slots__ = ("columns", "_data")
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ResultSchemaError(
+                f"duplicate column names in {self.columns!r}"
+            )
+        self._data: Dict[str, List[object]] = {
+            name: [] for name in self.columns
+        }
+
+    def __len__(self) -> int:
+        """Rows appended so far."""
+        if not self.columns:
+            return 0
+        return len(self._data[self.columns[0]])
+
+    def row_writer(self, names: Sequence[str]) -> RowWriter:
+        """A positional appender over ``names`` (one call = one row).
+
+        The returned callable takes exactly ``len(names)`` cell values
+        in ``names`` order and appends :data:`MISSING` to every other
+        declared column, keeping all columns the same length.
+        """
+        subset = tuple(names)
+        unknown = sorted(set(subset) - set(self.columns))
+        if unknown:
+            raise ResultSchemaError(
+                f"writer names undeclared column(s) {unknown}; "
+                f"declared: {list(self.columns)}"
+            )
+        if len(set(subset)) != len(subset):
+            raise ResultSchemaError(f"duplicate writer columns in {subset!r}")
+        present = [self._data[name].append for name in subset]
+        absent = [
+            self._data[name].append
+            for name in self.columns
+            if name not in subset
+        ]
+        arity = len(present)
+
+        def write(*values: object) -> None:
+            if len(values) != arity:
+                raise ResultSchemaError(
+                    f"row writer over {list(subset)} takes {arity} "
+                    f"value(s), got {len(values)}"
+                )
+            for append, value in zip(present, values):
+                append(value)
+            for append in absent:
+                append(MISSING)
+
+        return write
+
+    def extend(self, batch: "ColumnarBuilder") -> None:
+        """Concatenate ``batch``'s rows onto this builder.
+
+        ``batch`` may declare any subset of this builder's columns
+        (its missing columns are padded with :data:`MISSING`); an
+        undeclared column is an error, exactly as for row dicts.
+        """
+        extra = sorted(set(batch.columns) - set(self.columns))
+        if extra:
+            raise ResultSchemaError(
+                f"batch has undeclared column(s) {extra}; "
+                f"declared: {list(self.columns)}"
+            )
+        count = len(batch)
+        for name in self.columns:
+            column = batch._data.get(name)
+            if column is not None:
+                self._data[name].extend(column)
+            else:
+                self._data[name].extend([MISSING] * count)
+
+    def build(self) -> ResultSet:
+        """Materialize the assembled columns into a :class:`ResultSet`."""
+        return ResultSet.from_columns(self.columns, self._data, len(self))
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarBuilder(columns={list(self.columns)!r}, "
+            f"rows={len(self)})"
         )

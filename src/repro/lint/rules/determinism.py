@@ -15,9 +15,14 @@ violation can scramble a golden:
   ``sorted(...)`` is the sanctioned bridge out of a set;
 * RL104 — ``hash()`` / ``id()`` in orderings (sort keys, comparison
   dunders): both vary per process under PYTHONHASHSEED / allocation.
+* RL105 — ``heapq`` imports outside ``repro.sim``: event scheduling
+  must go through the kernel's pluggable scheduler seam
+  (:func:`repro.sim.kernel.make_scheduler`), not ad-hoc private heaps,
+  so every queue dispatches in the pinned (time, sequence) order.
 
-They are scoped to the simulator's deterministic core; analysis or
-tooling code outside those packages may legitimately read clocks.
+RL101–RL104 are scoped to the simulator's deterministic core; analysis
+or tooling code outside those packages may legitimately read clocks.
+RL105 is repo-wide, with ``repro.sim`` itself (the seam's home) exempt.
 """
 
 from __future__ import annotations
@@ -347,6 +352,50 @@ class SetIterationRule(LintRule):
                 and self._is_set_expr(node.args[0], tainted)
             ):
                 yield self._flag(ctx, node.args[0], "str.join over a set")
+
+
+@register_rule
+class HeapqOutsideKernelRule(LintRule):
+    """RL105: no ``heapq`` imports outside the kernel seam's home."""
+
+    code = "RL105"
+    name = "heapq-outside-kernel"
+    description = (
+        "Importing heapq outside repro.sim bypasses the kernel's "
+        "pluggable scheduler seam (Scheduler / make_scheduler); "
+        "schedule through the seam so wheel and heap stay "
+        "interchangeable and dispatch order stays pinned."
+    )
+    # Repo-wide: a private heap anywhere in the simulator or its
+    # drivers re-implements scheduling outside the seam.
+    scope = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.in_packages(("sim",)):
+            # The seam's own home: the reference HeapScheduler and the
+            # wheel's far-future overflow spill legitimately use heapq.
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or alias.name.startswith(
+                        "heapq."
+                    ):
+                        yield self.diagnostic(
+                            ctx.path,
+                            node,
+                            "heapq import outside repro.sim; route "
+                            "scheduling through the kernel's scheduler "
+                            "seam (repro.sim.kernel.make_scheduler)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "heapq":
+                yield self.diagnostic(
+                    ctx.path,
+                    node,
+                    "heapq import outside repro.sim; route scheduling "
+                    "through the kernel's scheduler seam "
+                    "(repro.sim.kernel.make_scheduler)",
+                )
 
 
 _COMPARISON_DUNDERS = frozenset({"__lt__", "__le__", "__gt__", "__ge__"})

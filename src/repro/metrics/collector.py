@@ -4,12 +4,31 @@ After a run, an experiment holds a :class:`~repro.proxy.proxy.ProxyCache`
 (with per-entry fetch logs) and the ground-truth traces.  The collector
 extracts poll schedules from the fetch logs and invokes the metric
 functions, producing the rows the paper's figures plot.
+
+Result-row production for the config execution path lives here too:
+:func:`append_object_rows` and :func:`append_group_rows` emit each
+node's cells positionally — under :data:`OBJECT_ROW_COLUMNS` and
+:data:`GROUP_ROW_COLUMNS` respectively — into a caller-supplied row
+writer (in practice a
+:meth:`repro.api.results.ColumnarBuilder.row_writer`; the writer is
+duck-typed so metrics never imports the api layer above it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycle
+    from repro.groups.registry import GroupRegistry
 
 from repro.core.types import ObjectId, Seconds
 from repro.metrics.fidelity import (
@@ -293,3 +312,119 @@ def collect_mutual_value(
         polls_a=len(fetches_a),
         polls_b=len(fetches_b),
     )
+
+
+#: A positional row appender (duck-typed; see the module docstring).
+RowAppender = Callable[..., None]
+
+#: The per-(node, object) cells :func:`append_object_rows` emits, in
+#: call order.  The api layer's result schema is assembled from this
+#: plus :data:`GROUP_ROW_COLUMNS` (see
+#: :data:`repro.api.builder.RESULT_COLUMNS`).
+OBJECT_ROW_COLUMNS: Tuple[str, ...] = (
+    "node",
+    "object",
+    "updates",
+    "polls",
+    "fidelity_by_violations",
+    "fidelity_by_time",
+    "evictions",
+    "refetch_after_evict",
+    "staleness_violations",
+)
+
+#: The per-(node, group) cells :func:`append_group_rows` emits, in
+#: call order.
+GROUP_ROW_COLUMNS: Tuple[str, ...] = (
+    "node",
+    "group",
+    "group_polls",
+    "group_violations",
+    "group_fidelity_by_violations",
+    "group_fidelity_by_time",
+)
+
+
+def append_object_rows(
+    write: RowAppender,
+    node: str,
+    proxy: ProxyCache,
+    traces: Sequence[UpdateTrace],
+    delta: Optional[Seconds],
+    *,
+    horizon: Optional[Seconds] = None,
+    snapshots: bool = False,
+) -> None:
+    """Emit one :data:`OBJECT_ROW_COLUMNS` row per trace on one node.
+
+    ``snapshots`` selects snapshot-based fidelity scoring
+    (:func:`collect_snapshot_fidelity`) for nodes below another cache;
+    poll-time scoring (:func:`collect_temporal`) is the default.  With
+    ``delta=None`` the fidelity cells are ``None``.
+    """
+    for trace in traces:
+        # A bounded cache may have evicted the object without a later
+        # refetch: there is then no entry (and no poll history) to
+        # score — entry_or_none still raises for unregistered objects.
+        entry = proxy.entry_or_none(trace.object_id)
+        violations: Optional[float] = None
+        by_time: Optional[float] = None
+        polls = 0
+        if entry is not None:
+            if delta is not None:
+                collect = (
+                    collect_snapshot_fidelity if snapshots else collect_temporal
+                )
+                report = collect(proxy, trace, delta).report
+                violations = report.fidelity_by_violations
+                by_time = report.fidelity_by_time
+            polls = entry.poll_count
+        impact = collect_eviction_impact(proxy, trace, delta, horizon=horizon)
+        write(
+            node,
+            str(trace.object_id),
+            trace.update_count,
+            polls,
+            violations,
+            by_time,
+            impact.evictions,
+            impact.refetches_after_evict,
+            impact.staleness_violations,
+        )
+
+
+def append_group_rows(
+    write: RowAppender,
+    node: str,
+    proxy: ProxyCache,
+    registry: "GroupRegistry",
+    traces_by_id: Dict[ObjectId, UpdateTrace],
+    horizon: Seconds,
+) -> None:
+    """Emit one :data:`GROUP_ROW_COLUMNS` row per group on one node."""
+    from repro.metrics.group import group_temporal_fidelity
+
+    for spec in registry:
+        fetches = {}
+        for member in spec.members:
+            # A bounded cache may have evicted a member; its fetch
+            # history is gone, so it contributes no poll events (the
+            # group metric then scores the remaining members' polls).
+            entry = proxy.entry_or_none(member)
+            fetches[member] = (
+                [] if entry is None else temporal_fetches_of(proxy, member)
+            )
+        report = group_temporal_fidelity(
+            {member: traces_by_id[member] for member in spec.members},
+            fetches,
+            spec.mutual_delta,
+            end=horizon,
+        )
+        write(
+            node,
+            str(spec.group_id),
+            report.polls,
+            report.violations,
+            report.fidelity_by_violations,
+            report.fidelity_by_time,
+        )

@@ -35,8 +35,9 @@ from repro.sim.timers import RestartableTimer
 PollIssuer = Callable[[ObjectId, PollReason], None]
 
 #: Fast-forward hook: called with (refresher, next poll time) whenever a
-#: detached refresher re-arms, so the engine can queue the new instant.
-RescheduleHook = Callable[["Refresher", Seconds], None]
+#: detached refresher re-arms — or with ``None`` when it disarms — so
+#: the engine can queue the new instant or cancel the queued one.
+RescheduleHook = Callable[["Refresher", Optional[Seconds]], None]
 
 
 class Refresher:
@@ -90,6 +91,9 @@ class Refresher:
     def _disarm(self) -> None:
         if self._detached:
             self._ff_next_poll = None
+            hook = self._ff_hook
+            assert hook is not None
+            hook(self, None)
         else:
             self._timer.disarm()
 

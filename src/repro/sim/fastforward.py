@@ -10,8 +10,12 @@ the refresher's next instant is known exactly, so there is nothing to
 * Every registered object's :class:`~repro.proxy.refresher.Refresher`
   is detached from its kernel timer
   (:meth:`~repro.proxy.refresher.Refresher.detach_timer`); re-arms
-  become arithmetic updates queued on the engine's own heap instead of
-  kernel events.
+  become arithmetic updates queued on the engine's own scheduler —
+  built through the same :func:`~repro.sim.kernel.make_scheduler` seam
+  as the kernel's, and of the same kind — instead of kernel events.
+  Queued polls ride pooled ``_PollEntry`` carriers: a re-arm or disarm
+  eagerly cancels the carrier through the reschedule hook, and the
+  scheduler's reclaim hook recycles skipped carriers into a free list.
 * The main loop compares the earliest queued poll instant with the
   kernel's earliest pending event (:meth:`~repro.sim.kernel.Kernel.
   peek_next_time`).  Runs of external events dispatch through the
@@ -45,8 +49,7 @@ order around in-flight responses.
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import SimulationError, UnknownObjectError
 from repro.core.events import PollReason
@@ -54,12 +57,25 @@ from repro.core.types import Seconds
 from repro.proxy.proxy import ProxyCache
 from repro.proxy.refresher import Refresher
 from repro.server.origin import OriginServer
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import Kernel, Scheduler, make_scheduler
 
-#: An engine heap entry: (poll time, sequence, refresher).  The
-#: sequence mirrors kernel FIFO arm order, so equal-time polls fire in
-#: the order the step-by-step kernel would fire them.
-_HeapEntry = Tuple[Seconds, int, Refresher]
+
+class _PollEntry:
+    """Scheduler carrier for one queued poll instant.
+
+    The engine's analogue of the kernel's pooled ``_Event`` record:
+    entries are keyed ``(time, sequence)`` on the scheduler (sequence
+    mirrors FIFO arm order, so equal-time polls fire in the order the
+    step-by-step kernel would fire them), cancelled eagerly when the
+    refresher re-arms or disarms, and recycled through a free list once
+    consumed or reclaimed.
+    """
+
+    __slots__ = ("refresher", "cancelled")
+
+    def __init__(self, refresher: Refresher) -> None:
+        self.refresher = refresher
+        self.cancelled = False
 
 #: Counter name for TTR-expiry polls (mirrors the proxy's per-reason
 #: poll counters without reaching into its private name table).
@@ -91,7 +107,9 @@ class FastForwardEngine:
 
     __slots__ = (
         "_kernel",
-        "_heap",
+        "_scheduler",
+        "_current",
+        "_free",
         "_sequence",
         "_refreshers",
         "_proxy_of",
@@ -101,7 +119,12 @@ class FastForwardEngine:
 
     def __init__(self, kernel: Kernel, proxies: Sequence[ProxyCache]) -> None:
         self._kernel = kernel
-        self._heap: List[_HeapEntry] = []
+        self._free: List[_PollEntry] = []
+        self._scheduler: Scheduler[_PollEntry] = make_scheduler(
+            kernel.scheduler_kind, on_reclaim=self._free.append
+        )
+        #: The live carrier per armed refresher, for eager cancellation.
+        self._current: Dict[Refresher, _PollEntry] = {}
         self._sequence = 0
         self._refreshers: List[Refresher] = []
         self._proxy_of: Dict[Refresher, ProxyCache] = {}
@@ -127,22 +150,29 @@ class FastForwardEngine:
     # Schedule bookkeeping
     # ------------------------------------------------------------------
     def _push(self, when: Seconds, refresher: Refresher) -> None:
-        heapq.heappush(self._heap, (when, self._sequence, refresher))
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry.refresher = refresher
+            entry.cancelled = False
+        else:
+            entry = _PollEntry(refresher)
+        self._current[refresher] = entry
+        self._scheduler.push(when, self._sequence, entry)
         self._sequence += 1
 
-    def _on_reschedule(self, refresher: Refresher, when: Seconds) -> None:
-        self._push(when, refresher)
+    def _on_reschedule(self, refresher: Refresher, when: Optional[Seconds]) -> None:
+        """Mirror a detached re-arm (or, with ``when=None``, a disarm).
 
-    def _drop_stale(self) -> None:
-        """Discard superseded heap heads.
-
-        A refresher that was disarmed or re-armed leaves its old entry
-        behind (lazy cancellation, like the kernel's); an entry is live
-        only while it matches the refresher's current next-poll instant.
+        The superseded carrier is cancelled eagerly and reclaimed by the
+        scheduler when it would have surfaced, exactly as a
+        ``RestartableTimer.arm_at`` flags its old kernel event.
         """
-        heap = self._heap
-        while heap and heap[0][2].next_poll_time != heap[0][0]:
-            heapq.heappop(heap)
+        stale = self._current.pop(refresher, None)
+        if stale is not None:
+            stale.cancelled = True
+        if when is not None:
+            self._push(when, refresher)
 
     # ------------------------------------------------------------------
     # Execution
@@ -161,10 +191,10 @@ class FastForwardEngine:
             raise SimulationError(
                 f"cannot fast-forward to t={until}, already at t={kernel.now()}"
             )
-        heap = self._heap
+        scheduler = self._scheduler
         while True:
-            self._drop_stale()
-            t_poll = heap[0][0] if heap else None
+            head = scheduler.peek()
+            t_poll = head[0] if head is not None else None
             bound = until if (t_poll is None or t_poll > until) else t_poll
             t_ext = kernel.peek_next_time()
             if t_ext is not None and t_ext <= bound:
@@ -176,8 +206,16 @@ class FastForwardEngine:
                 continue
             if t_poll is None or t_poll > until:
                 break
-            time, _sequence, refresher = heapq.heappop(heap)
-            self._drop_stale()
+            entry = scheduler.pop()
+            assert entry is not None
+            time, _sequence, carrier = entry
+            refresher = carrier.refresher
+            # A surfaced carrier is never cancelled, so it is exactly
+            # the refresher's current one; consume and recycle it
+            # before the poll re-arms (the re-arm reuses the carrier).
+            del self._current[refresher]
+            self._free.append(carrier)
+            head = scheduler.peek()
             # Bulk may cover polls up to the horizon inclusively, but
             # must stop strictly BEFORE the next external event or the
             # next queued poll: a poll exactly at the external event's
@@ -185,8 +223,8 @@ class FastForwardEngine:
             # events carry lower sequence numbers) and may observe the
             # update it delivers.
             before = t_ext
-            if heap and (before is None or heap[0][0] < before):
-                before = heap[0][0]
+            if head is not None and (before is None or head[0] < before):
+                before = head[0]
             if not self._try_bulk(refresher, time, until, before):
                 kernel.advance_clock(time)
                 refresher.fire_expired()
@@ -284,5 +322,6 @@ class FastForwardEngine:
     def __repr__(self) -> str:
         return (
             f"FastForwardEngine(refreshers={len(self._refreshers)}, "
-            f"queued={len(self._heap)}, bulk_polls={self.bulk_polls})"
+            f"queued={self._scheduler.pending_count()}, "
+            f"bulk_polls={self.bulk_polls})"
         )

@@ -1,24 +1,37 @@
 """Discrete-event simulation kernel.
 
 A classic priority-queue DES: events are ``(time, sequence, record)``
-tuples on a :mod:`heapq`; the kernel pops the earliest event, advances
-the clock to its timestamp, and invokes the callback.  Ties are broken
-by the monotonically increasing sequence number (FIFO insertion order),
-which makes runs deterministic for a given seed and schedule.
+entries on a pluggable :class:`Scheduler`; the kernel pops the earliest
+event, advances the clock to its timestamp, and invokes the callback.
+Ties are broken by the monotonically increasing sequence number (FIFO
+insertion order), which makes runs deterministic for a given seed and
+schedule.
 
 Hot-path design (every simulated poll passes through here several
 times):
 
-* Heap entries are plain tuples, so ordering is resolved by C-level
-  tuple comparison on ``(time, sequence)`` — no rich-comparison methods
-  on event objects ever run, and the sequence tiebreaker guarantees the
-  payload in slot 2 is never compared.
+* Scheduler entries are plain tuples, so ordering is resolved by
+  C-level tuple comparison on ``(time, sequence)`` — no rich-comparison
+  methods on event objects ever run, and the sequence tiebreaker
+  guarantees the payload in slot 2 is never compared.
 * The mutable per-event state lives in a ``__slots__`` record
-  (:class:`_Event`) shared between the heap and the
+  (:class:`_Event`) shared between the scheduler and the
   :class:`EventHandle` returned to the caller, so cancellation needs no
   side-table lookup.
-* :meth:`Kernel.step` and :meth:`Kernel.run` bind hot attributes to
-  locals; cancelled events are skipped lazily when popped.
+* Fired events are recycled through a free list instead of allocated
+  per schedule: :meth:`Kernel.schedule_raw` reuses the record and bumps
+  its ``generation`` so stale handles can tell a recycled event from
+  their own.  Cancelled events are reclaimed lazily when the scheduler
+  skips them.
+* :meth:`Kernel._drain` binds hot attributes to locals; cancelled
+  events are skipped lazily when popped.
+
+The scheduler seam has two implementations: :class:`HeapScheduler`
+(the reference ``heapq`` priority queue, kept for differential testing)
+and the default :class:`repro.sim.wheel.TimerWheelScheduler` (an
+amortized O(1) calendar queue).  Both dispatch in bit-identical
+``(time, sequence)`` order — pinned by the hypothesis equivalence suite
+in ``tests/test_scheduler_equivalence.py``.
 
 The kernel is deliberately small — no coroutines, no channels — because
 the paper's simulation only needs timers (TTR expirations and trace
@@ -29,7 +42,15 @@ process abstraction on top for components that prefer that style.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Generic,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.errors import SchedulingInPastError, SimulationError
 from repro.core.types import Seconds
@@ -39,15 +60,132 @@ from repro.core.types import Seconds
 EventCallback = Callable[["Kernel"], None]
 
 
-class _Event:
-    """Mutable per-event state shared by the heap entry and its handle.
+class Cancellable(Protocol):
+    """An item a :class:`Scheduler` can lazily skip once flagged."""
 
-    Ordering lives in the enclosing ``(time, sequence, event)`` heap
-    tuple, never here — this record only carries the callback and the
-    cancelled/fired flags consulted at pop time.
+    cancelled: bool
+
+
+_ItemT = TypeVar("_ItemT", bound=Cancellable)
+
+#: A scheduler entry: (time, sequence, item).  Comparison never reaches
+#: the item because sequence numbers are unique.
+SchedulerEntry = Tuple[Seconds, int, _ItemT]
+
+
+class Scheduler(Protocol[_ItemT]):
+    """The pluggable priority-queue seam under the kernel.
+
+    Implementations must dispatch in exact ``(time, sequence)`` order —
+    including same-tick sequence tie-breaks — so the choice of scheduler
+    is unobservable to the simulation.  Cancellation is lazy: items
+    flagged ``cancelled`` are skipped (and reported to the reclaim hook)
+    when they would otherwise surface.
     """
 
-    __slots__ = ("time", "callback", "label", "cancelled", "fired")
+    def push(self, when: Seconds, sequence: int, item: _ItemT) -> None:
+        """Insert ``item`` keyed by ``(when, sequence)``."""
+        ...
+
+    def peek(self) -> Optional[Tuple[Seconds, int, _ItemT]]:
+        """The earliest pending entry, or None; drops cancelled heads."""
+        ...
+
+    def pop(
+        self, until: Optional[Seconds] = None
+    ) -> Optional[Tuple[Seconds, int, _ItemT]]:
+        """Remove and return the earliest pending entry.
+
+        With ``until`` given, an entry later than ``until`` is left in
+        place and None is returned (entries exactly at ``until`` pop).
+        """
+        ...
+
+    def advance(self, to: Seconds) -> None:
+        """Note an analytic clock jump through an event-free interval."""
+        ...
+
+    def pending_count(self) -> int:
+        """Number of queued non-cancelled entries."""
+        ...
+
+
+class HeapScheduler(Generic[_ItemT]):
+    """The reference scheduler: a binary heap of entry tuples.
+
+    O(log n) push/pop via :mod:`heapq`.  Kept as the behavioral oracle
+    for the timer wheel (``Kernel(scheduler="heap")``) and for
+    differential tests; the wheel must match it byte for byte.
+    """
+
+    __slots__ = ("_heap", "_reclaim")
+
+    def __init__(
+        self, on_reclaim: Optional[Callable[[_ItemT], None]] = None
+    ) -> None:
+        self._heap: List[Tuple[Seconds, int, _ItemT]] = []
+        self._reclaim = on_reclaim
+
+    def push(self, when: Seconds, sequence: int, item: _ItemT) -> None:
+        heapq.heappush(self._heap, (when, sequence, item))
+
+    def peek(self) -> Optional[Tuple[Seconds, int, _ItemT]]:
+        heap = self._heap
+        reclaim = self._reclaim
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            if head[2].cancelled:
+                pop(heap)
+                if reclaim is not None:
+                    reclaim(head[2])
+                continue
+            return head
+        return None
+
+    def pop(
+        self, until: Optional[Seconds] = None
+    ) -> Optional[Tuple[Seconds, int, _ItemT]]:
+        head = self.peek()
+        if head is None or (until is not None and head[0] > until):
+            return None
+        heapq.heappop(self._heap)
+        return head
+
+    def advance(self, to: Seconds) -> None:
+        """Clock jumps need no bookkeeping in a heap."""
+
+    def pending_count(self) -> int:
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    def __repr__(self) -> str:
+        return f"HeapScheduler(queued={len(self._heap)})"
+
+
+def make_scheduler(
+    kind: str, on_reclaim: Optional[Callable[[_ItemT], None]] = None
+) -> "Scheduler[_ItemT]":
+    """Build a scheduler by kind (``"wheel"`` or ``"heap"``)."""
+    if kind == "wheel":
+        from repro.sim.wheel import TimerWheelScheduler
+
+        return TimerWheelScheduler(on_reclaim=on_reclaim)
+    if kind == "heap":
+        return HeapScheduler(on_reclaim=on_reclaim)
+    raise ValueError(f"unknown scheduler kind {kind!r} (use 'wheel' or 'heap')")
+
+
+class _Event:
+    """Mutable per-event state shared by the scheduler and its handle.
+
+    Ordering lives in the enclosing ``(time, sequence, event)`` entry
+    tuple, never here — this record only carries the callback and the
+    cancelled/fired flags consulted at pop time.  Records are pooled:
+    ``generation`` increments each time the kernel recycles one, so a
+    handle can detect that its event is long gone.
+    """
+
+    __slots__ = ("time", "callback", "label", "cancelled", "fired", "generation")
 
     def __init__(self, time: Seconds, callback: EventCallback, label: str) -> None:
         self.time = time
@@ -55,85 +193,97 @@ class _Event:
         self.label = label
         self.cancelled = False
         self.fired = False
-
-
-#: A heap entry: (time, sequence, event record).
-_HeapEntry = Tuple[Seconds, int, _Event]
+        self.generation = 0
 
 
 class EventHandle:
     """A handle to a scheduled event, usable to cancel it.
 
-    Cancellation is lazy: the heap entry is flagged and skipped when it
-    reaches the head of the queue.  Cancelling an already-fired or
-    already-cancelled event is an error (it usually indicates a
+    Cancellation is lazy: the scheduler entry is flagged and skipped
+    when it reaches the head of the queue.  Cancelling an already-fired
+    or already-cancelled event is an error (it usually indicates a
     bookkeeping bug in the caller), surfaced as ``SimulationError``.
+
+    The handle snapshots the event's time/label and generation at
+    creation: once the underlying record is recycled for a later event
+    (its generation moved on), the handle keeps reporting its own
+    event's fate instead of the stranger's.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_generation", "_time", "_label", "_cancelled")
 
     def __init__(self, event: _Event) -> None:
         self._event = event
+        self._generation = event.generation
+        self._time = event.time
+        self._label = event.label
+        self._cancelled = False
 
     @property
     def time(self) -> Seconds:
         """The time the event is (or was) scheduled to fire."""
-        return self._event.time
+        return self._time
 
     @property
     def label(self) -> str:
-        return self._event.label
+        return self._label
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._cancelled
 
     @property
     def fired(self) -> bool:
-        return self._event.fired
+        if self._cancelled:
+            return False
+        event = self._event
+        return event.generation != self._generation or event.fired
 
     @property
     def pending(self) -> bool:
         """True if the event is still waiting to fire."""
+        if self._cancelled:
+            return False
         event = self._event
-        return not event.fired and not event.cancelled
+        return event.generation == self._generation and not event.fired
 
     def cancel(self) -> None:
         """Cancel the event.  Raises ``SimulationError`` if not pending."""
-        event = self._event
-        if event.fired:
+        if self.fired:
             raise SimulationError(
-                f"cannot cancel event {event.label!r}: already fired"
+                f"cannot cancel event {self._label!r}: already fired"
             )
-        if event.cancelled:
+        if self._cancelled:
             raise SimulationError(
-                f"cannot cancel event {event.label!r}: already cancelled"
+                f"cannot cancel event {self._label!r}: already cancelled"
             )
-        event.cancelled = True
+        self._cancelled = True
+        self._event.cancelled = True
 
     def cancel_if_pending(self) -> bool:
         """Cancel the event if pending; return whether it was cancelled."""
-        event = self._event
-        if not event.fired and not event.cancelled:
-            event.cancelled = True
+        if self.pending:
+            self._cancelled = True
+            self._event.cancelled = True
             return True
         return False
 
-    def _mark_fired(self) -> None:
-        self._event.fired = True
-
     def __repr__(self) -> str:
-        event = self._event
         state = (
-            "cancelled"
-            if event.cancelled
-            else ("fired" if event.fired else "pending")
+            "cancelled" if self._cancelled else ("fired" if self.fired else "pending")
         )
-        return f"EventHandle(t={event.time}, label={event.label!r}, {state})"
+        return f"EventHandle(t={self._time}, label={self._label!r}, {state})"
 
 
 class Kernel:
     """The discrete-event simulation engine.
+
+    Args:
+        start_time: Initial clock value.
+        scheduler: ``"wheel"`` (default — the O(1) calendar queue in
+            :mod:`repro.sim.wheel`) or ``"heap"`` (the reference binary
+            heap).  Dispatch order is identical; the knob exists for
+            differential testing and benchmarking.
 
     Example:
         >>> k = Kernel()
@@ -144,13 +294,29 @@ class Kernel:
         [5.0]
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_running", "_events_processed")
+    __slots__ = (
+        "_now",
+        "_scheduler",
+        "_scheduler_kind",
+        "_push",
+        "_sequence",
+        "_running",
+        "_events_processed",
+        "_free",
+    )
 
-    def __init__(self, start_time: Seconds = 0.0) -> None:
+    def __init__(
+        self, start_time: Seconds = 0.0, *, scheduler: str = "wheel"
+    ) -> None:
         if start_time < 0:
             raise ValueError(f"start_time must be >= 0, got {start_time}")
         self._now: Seconds = start_time
-        self._heap: List[_HeapEntry] = []
+        self._free: List[_Event] = []
+        self._scheduler: Scheduler[_Event] = make_scheduler(
+            scheduler, on_reclaim=self._free.append
+        )
+        self._scheduler_kind = scheduler
+        self._push = self._scheduler.push
         self._sequence = 0
         self._running = False
         self._events_processed = 0
@@ -162,9 +328,47 @@ class Kernel:
         """Current simulation time (satisfies the ``Clock`` protocol)."""
         return self._now
 
+    @property
+    def scheduler_kind(self) -> str:
+        """Which scheduler implementation backs this kernel."""
+        return self._scheduler_kind
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def schedule_raw(
+        self, when: Seconds, callback: EventCallback, label: str = ""
+    ) -> _Event:
+        """Schedule ``callback`` at ``when``; return the bare event record.
+
+        The allocation-free inner path behind :meth:`schedule_at` and
+        the timer helpers in :mod:`repro.sim.timers`: the record comes
+        from the kernel's free list when one is available, and no
+        :class:`EventHandle` is built.  Callers that hold the record may
+        cancel it by setting ``cancelled`` while its ``generation`` is
+        unchanged; anything longer-lived should take a handle instead.
+
+        Raises:
+            SchedulingInPastError: if ``when`` precedes the current time.
+        """
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.generation += 1
+            event.time = when
+            event.callback = callback
+            event.label = label
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = _Event(when, callback, label)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        self._push(when, sequence, event)
+        return event
+
     def schedule_at(
         self, when: Seconds, callback: EventCallback, *, label: str = ""
     ) -> EventHandle:
@@ -173,12 +377,25 @@ class Kernel:
         Raises:
             SchedulingInPastError: if ``when`` precedes the current time.
         """
+        # Mirrors schedule_raw rather than calling it: this is the
+        # public per-event entry point, and the extra frame is
+        # measurable under client-arrival workloads.
         if when < self._now:
             raise SchedulingInPastError(self._now, when)
-        event = _Event(when, callback, label)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.generation += 1
+            event.time = when
+            event.callback = callback
+            event.label = label
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = _Event(when, callback, label)
         sequence = self._sequence
         self._sequence = sequence + 1
-        heapq.heappush(self._heap, (when, sequence, event))
+        self._push(when, sequence, event)
         return EventHandle(event)
 
     def schedule_after(
@@ -198,48 +415,40 @@ class Kernel:
         Returns:
             True if an event was processed, False if the queue is empty.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            time, _sequence, event = pop(heap)
-            if event.cancelled:
-                continue
-            self._now = time
-            event.fired = True
-            self._events_processed += 1
-            event.callback(self)
-            return True
-        return False
+        return self._drain(None, 1) == 1
 
     def _drain(self, until: Optional[Seconds], max_events: Optional[int]) -> int:
         """Dispatch pending events in (time, sequence) order.
 
-        The shared inner loop behind :meth:`run` and :meth:`run_batch`:
-        drains cancelled heads lazily, stops at the first event past
-        ``until`` (events exactly at ``until`` are dispatched), and
-        leaves the clock at the last dispatched event.  Callers own the
-        ``_running`` guard and the end-of-run clock policy.
+        The single lazy-cancel pop loop behind :meth:`step`,
+        :meth:`run`, and :meth:`run_batch`: the scheduler skips
+        cancelled entries, the loop stops at the first event past
+        ``until`` (events exactly at ``until`` are dispatched), and the
+        clock is left at the last dispatched event.  Fired records are
+        released to the free list *before* their callback runs, so the
+        fire→re-arm pattern reuses the same record without growing the
+        pool.  Callers own the ``_running`` guard and the end-of-run
+        clock policy.
         """
         processed = 0
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            if max_events is not None and processed >= max_events:
-                break
-            # Drop cancelled heads, then peek the next pending time.
-            while heap and heap[0][2].cancelled:
-                pop(heap)
-            if not heap:
-                break
-            time, _sequence, event = heap[0]
-            if until is not None and time > until:
-                break
-            pop(heap)
-            self._now = time
-            event.fired = True
-            self._events_processed += 1
-            event.callback(self)
-            processed += 1
+        pop = self._scheduler.pop
+        free = self._free
+        try:
+            while processed != max_events:
+                entry = pop(until)
+                if entry is None:
+                    break
+                event = entry[2]
+                self._now = entry[0]
+                event.fired = True
+                callback = event.callback
+                free.append(event)
+                callback(self)
+                processed += 1
+        finally:
+            # Folded in once per drain, not per event; the finally
+            # keeps the count honest when a callback raises.
+            self._events_processed += processed
         return processed
 
     def run(
@@ -320,11 +529,8 @@ class Kernel:
         Cancelled heads are dropped as a side effect, so the returned
         time always belongs to an event that will actually fire.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap and heap[0][2].cancelled:
-            pop(heap)
-        return heap[0][0] if heap else None
+        entry = self._scheduler.peek()
+        return entry[0] if entry is not None else None
 
     def advance_clock(self, to: Seconds) -> None:
         """Move the clock forward through an event-free interval.
@@ -344,6 +550,7 @@ class Kernel:
                 f"cannot advance clock to t={to}: event pending at t={pending}"
             )
         self._now = to
+        self._scheduler.advance(to)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -351,7 +558,7 @@ class Kernel:
     @property
     def pending_count(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        return self._scheduler.pending_count()
 
     @property
     def events_processed(self) -> int:

@@ -4,6 +4,14 @@ The proxy refreshers are driven by *rescheduleable* one-shot timers: a
 TTR expires, the policy computes the next TTR, and the timer is re-armed.
 ``RestartableTimer`` encapsulates that pattern; ``PeriodicTimer`` covers
 fixed-interval polling (the paper's baseline approach).
+
+Both timers ride the kernel's allocation-free scheduling path
+(:meth:`~repro.sim.kernel.Kernel.schedule_raw`): instead of taking an
+:class:`~repro.sim.kernel.EventHandle` per arm, a timer holds the bare
+pooled event record plus the generation it was issued under, and
+cancels by flagging the record directly.  A generation mismatch means
+the record was recycled for someone else's event — i.e. this timer's
+firing already happened — so the reference is simply dropped.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from typing import Callable, Optional
 
 from repro.core.errors import SimulationError
 from repro.core.types import Seconds
-from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.kernel import Kernel, _Event
 
 #: Callback invoked when a timer fires.  Receives the fire time.
 TimerCallback = Callable[[Seconds], None]
@@ -26,31 +34,52 @@ class RestartableTimer:
     polls may also *pull in* the timer to an earlier instant.
     """
 
-    __slots__ = ("_kernel", "_callback", "_label", "_handle")
+    __slots__ = ("_kernel", "_callback", "_label", "_event", "_generation")
 
     def __init__(self, kernel: Kernel, callback: TimerCallback, *, label: str = "") -> None:
         self._kernel = kernel
         self._callback = callback
         self._label = label
-        self._handle: Optional[EventHandle] = None
+        self._event: Optional[_Event] = None
+        self._generation = 0
 
     @property
     def armed(self) -> bool:
         """True if the timer is currently waiting to fire."""
-        return self._handle is not None and self._handle.pending
+        event = self._event
+        return (
+            event is not None
+            and event.generation == self._generation
+            and not event.fired
+            and not event.cancelled
+        )
 
     @property
     def next_fire_time(self) -> Optional[Seconds]:
         """The absolute time of the next firing, or None if unarmed."""
-        if self.armed:
-            assert self._handle is not None
-            return self._handle.time
+        event = self._event
+        if (
+            event is not None
+            and event.generation == self._generation
+            and not event.fired
+            and not event.cancelled
+        ):
+            return event.time
         return None
 
     def arm_at(self, when: Seconds) -> None:
         """Arm (or re-arm) the timer to fire at absolute time ``when``."""
-        self.disarm()
-        self._handle = self._kernel.schedule_at(when, self._fire, label=self._label)
+        event = self._event
+        if (
+            event is not None
+            and event.generation == self._generation
+            and not event.fired
+            and not event.cancelled
+        ):
+            event.cancelled = True
+        event = self._kernel.schedule_raw(when, self._fire, self._label)
+        self._event = event
+        self._generation = event.generation
 
     def arm_after(self, delay: Seconds) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
@@ -70,12 +99,18 @@ class RestartableTimer:
 
     def disarm(self) -> None:
         """Cancel any pending firing.  Safe to call when unarmed."""
-        if self._handle is not None:
-            self._handle.cancel_if_pending()
-            self._handle = None
+        event = self._event
+        if event is not None:
+            if (
+                event.generation == self._generation
+                and not event.fired
+                and not event.cancelled
+            ):
+                event.cancelled = True
+            self._event = None
 
     def _fire(self, kernel: Kernel) -> None:
-        self._handle = None
+        self._event = None
         self._callback(kernel.now())
 
     def __repr__(self) -> str:
@@ -99,7 +134,8 @@ class PeriodicTimer:
         "_callback",
         "_stop_after",
         "_label",
-        "_handle",
+        "_event",
+        "_generation",
         "_fire_count",
         "_stopped",
     )
@@ -125,7 +161,8 @@ class PeriodicTimer:
         self._callback = callback
         self._stop_after = stop_after
         self._label = label
-        self._handle: Optional[EventHandle] = None
+        self._event: Optional[_Event] = None
+        self._generation = 0
         self._fire_count = 0
         self._stopped = False
         first = kernel.now() if fire_immediately else kernel.now() + period
@@ -141,23 +178,31 @@ class PeriodicTimer:
 
     @property
     def running(self) -> bool:
-        return not self._stopped and self._handle is not None
+        return not self._stopped and self._event is not None
 
     def stop(self) -> None:
         """Stop the timer permanently."""
         self._stopped = True
-        if self._handle is not None:
-            self._handle.cancel_if_pending()
-            self._handle = None
+        event = self._event
+        if event is not None:
+            if (
+                event.generation == self._generation
+                and not event.fired
+                and not event.cancelled
+            ):
+                event.cancelled = True
+            self._event = None
 
     def _schedule(self, when: Seconds) -> None:
         if self._stop_after is not None and when > self._stop_after:
-            self._handle = None
+            self._event = None
             return
-        self._handle = self._kernel.schedule_at(when, self._fire, label=self._label)
+        event = self._kernel.schedule_raw(when, self._fire, self._label)
+        self._event = event
+        self._generation = event.generation
 
     def _fire(self, kernel: Kernel) -> None:
-        self._handle = None
+        self._event = None
         if self._stopped:
             return
         self._fire_count += 1

@@ -221,7 +221,7 @@ def run_sharded(
         SimulationOutcome,
         _run_tree_config,
     )
-    from repro.api.results import ResultSet
+    from repro.api.results import ColumnarBuilder
     from repro.api.runs import run_many
 
     plan = _plan_for(config)
@@ -236,14 +236,18 @@ def run_sharded(
         config, selection=plan.selection(0), instrument=instrument
     )
     merged = list(keyed)
-    for shard_rows in remote:
-        merged.extend(shard_rows)
+    for shard_batches in remote:
+        merged.extend(shard_batches)
     merged.sort(key=lambda item: item[0])
-    rows = [row for _key, node_rows in merged for row in node_rows]
+    # Shards ship columnar batches (see ``KeyedRows``); rows
+    # materialize exactly once, from the merged columns.
+    assembly = ColumnarBuilder(RESULT_COLUMNS)
+    for _key, batch in merged:
+        assembly.extend(batch)
     return SimulationOutcome(
         config=config,
         run=outcome.run,
-        results=ResultSet(RESULT_COLUMNS, rows),
+        results=assembly.build(),
         edges=outcome.edges,
         tree=outcome.tree,
     )

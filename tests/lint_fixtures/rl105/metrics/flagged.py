@@ -1,0 +1,11 @@
+"""RL105 fixture: private heaps outside the kernel's scheduler seam."""
+
+import heapq
+from heapq import heappush
+
+
+def earliest(entries):
+    heap = list(entries)
+    heapq.heapify(heap)
+    heappush(heap, (0.0, 0))
+    return heap[0]

@@ -20,6 +20,7 @@ RULE_CASES = (
     ("RL102", "rl102/sim", 2),
     ("RL103", "rl103/sim", 2),
     ("RL104", "rl104/sim", 3),
+    ("RL105", "rl105/metrics", 2),
     ("RL201", "rl201/proxy", 2),
     ("RL202", "rl202/proxy", 1),
     ("RL203", "rl203/sim", 1),
@@ -108,6 +109,12 @@ class TestScoping(unittest.TestCase):
     def test_same_pattern_inside_scope_is_flagged(self):
         run = _lint_one(FIXTURES / "rl101" / "sim" / "flagged.py", "RL101")
         self.assertTrue(run.findings)
+
+    def test_rl105_exempts_the_sim_package(self):
+        """heapq is legal in repro.sim itself — the seam's home."""
+        run = _lint_one(FIXTURES / "rl105" / "sim" / "exempt.py", "RL105")
+        self.assertEqual(run.files_scanned, 1)
+        self.assertEqual([f.render() for f in run.findings], [])
 
 
 class TestDeterminism(unittest.TestCase):

@@ -1,0 +1,169 @@
+"""Differential tests: the timer wheel dispatches exactly like the heap.
+
+The scheduler seam (:class:`repro.sim.kernel.Scheduler`) promises that
+the choice of implementation is unobservable: for any interleaving of
+schedule / cancel / run / advance operations, the wheel and the heap
+must fire the same events at the same times in the same sequence
+order — including same-tick ties and lazily cancelled entries.  These
+tests drive both kernels through identical randomized operation scripts
+(hypothesis) and compare the full dispatch transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Kernel
+
+#: A dispatch transcript entry: (fire time, event label).  Labels are
+#: unique per scheduled event, so transcript equality pins the exact
+#: (time, sequence) dispatch order, not just the times.
+Transcript = List[Tuple[float, str]]
+
+# Quantized delays collide often (coincident timestamps exercise the
+# sequence tie-break); the float tail covers arbitrary spacings, and
+# the large values push entries into the wheel's overflow spill.
+_DELAYS = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 2.5, 7.0]),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.sampled_from([5_000.0, 80_000.0, 2_000_000.0]),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), _DELAYS),
+        st.tuples(st.just("chain"), _DELAYS, _DELAYS),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=999)),
+        st.tuples(st.just("run"), _DELAYS),
+        st.tuples(st.just("run_batch"), _DELAYS),
+        st.tuples(st.just("step"), st.just(0)),
+        st.tuples(st.just("advance"), _DELAYS),
+    ),
+    max_size=60,
+)
+
+
+def _execute(scheduler: str, ops: List[Tuple[object, ...]]) -> Transcript:
+    """Run one operation script on a fresh kernel; return its transcript."""
+    kernel = Kernel(scheduler=scheduler)
+    fired: Transcript = []
+    handles = []
+    labels = iter(range(10**6))
+
+    def recorder(label: str) -> Callable[[Kernel], None]:
+        return lambda k: fired.append((k.now(), label))
+
+    def chained(label: str, delay: float) -> Callable[[Kernel], None]:
+        # Schedule-during-callback: the follow-up competes for sequence
+        # numbers with everything else scheduled mid-run.
+        def fire(k: Kernel) -> None:
+            fired.append((k.now(), label))
+            k.schedule_at(
+                k.now() + delay, recorder(f"{label}+"), label=f"{label}+"
+            )
+
+        return fire
+
+    for op in ops:
+        kind = op[0]
+        if kind == "schedule":
+            label = f"e{next(labels)}"
+            handles.append(
+                kernel.schedule_at(
+                    kernel.now() + float(op[1]), recorder(label), label=label
+                )
+            )
+        elif kind == "chain":
+            label = f"c{next(labels)}"
+            handles.append(
+                kernel.schedule_at(
+                    kernel.now() + float(op[1]),
+                    chained(label, float(op[2])),
+                    label=label,
+                )
+            )
+        elif kind == "cancel":
+            if handles:
+                handles[int(op[1]) % len(handles)].cancel_if_pending()
+        else:
+            if kind == "run":
+                kernel.run(until=kernel.now() + float(op[1]))
+            elif kind == "run_batch":
+                kernel.run_batch(kernel.now() + float(op[1]))
+            elif kind == "step":
+                kernel.step()
+            else:  # advance: clamp to the next pending event, as the
+                # fast-forward engine's analytic jumps do.
+                target = kernel.now() + float(op[1])
+                pending = kernel.peek_next_time()
+                if pending is not None and pending < target:
+                    target = pending
+                kernel.advance_clock(target)
+            # Checkpoint the queue state into the transcript, so a
+            # wheel/heap divergence in pending bookkeeping or the next
+            # visible head fails the comparison even if dispatch order
+            # happens to agree.
+            fired.append((float(kernel.pending_count), "#pending"))
+            head = kernel.peek_next_time()
+            fired.append((-1.0 if head is None else head, "#head"))
+    kernel.run()
+    return fired
+
+
+class TestSchedulerEquivalence:
+    @given(_OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_wheel_matches_heap_transcript(self, ops):
+        assert _execute("wheel", ops) == _execute("heap", ops)
+
+    @given(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 1.0, 3.0]), min_size=1, max_size=30
+        ),
+        st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    @settings(max_examples=100)
+    def test_coincident_timestamps_fire_in_arm_order(self, delays, cancels):
+        """Heavily colliding schedules + cancels keep FIFO tie order."""
+        transcripts = []
+        for scheduler in ("wheel", "heap"):
+            kernel = Kernel(scheduler=scheduler)
+            fired: Transcript = []
+            handles = [
+                kernel.schedule_at(
+                    delay,
+                    (lambda lab: lambda k: fired.append((k.now(), lab)))(
+                        f"e{index}"
+                    ),
+                    label=f"e{index}",
+                )
+                for index, delay in enumerate(delays)
+            ]
+            for index in sorted(cancels):
+                if index < len(handles):
+                    handles[index].cancel_if_pending()
+            kernel.run()
+            transcripts.append(fired)
+        assert transcripts[0] == transcripts[1]
+        # FIFO within each timestamp: label indices increase per time.
+        by_time: dict = {}
+        for time, label in transcripts[0]:
+            by_time.setdefault(time, []).append(int(label[1:]))
+        for indices in by_time.values():
+            assert indices == sorted(indices)
+
+    def test_events_processed_and_clock_agree(self):
+        kernels = {
+            kind: Kernel(scheduler=kind) for kind in ("wheel", "heap")
+        }
+        for kernel in kernels.values():
+            for index in range(100):
+                kernel.schedule_at(float(index % 7), lambda k: None)
+            kernel.run(until=3.0)
+        wheel, heap = kernels["wheel"], kernels["heap"]
+        assert wheel.events_processed == heap.events_processed
+        assert wheel.now() == heap.now()
+        assert wheel.pending_count == heap.pending_count
